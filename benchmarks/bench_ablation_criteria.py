@@ -1,0 +1,87 @@
+"""ABL-CRIT — replacement-criteria ablation (Section III-A, criteria I-III).
+
+Disables each replacement criterion in turn and measures the effect on
+the commit schedule.  The key claim operationalized: criterion III exists
+to *reduce the number of NVM writes* ("the total number of writes will be
+reduced by a factor of 1/(fanin + fanout)"), so removing it must not
+produce narrower commits than having it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReplacementCriteria, build_task_graph, insert_nvm
+from repro.metrics import format_table
+from repro.suite import load_circuit
+
+CIRCUITS = ("s298", "b11", "seq")
+
+VARIANTS = {
+    "all": ReplacementCriteria(1.0, 1.0, 1.0),
+    "no-level": ReplacementCriteria(0.0, 1.0, 1.0),
+    "no-power": ReplacementCriteria(1.0, 0.0, 1.0),
+    "no-fanio": ReplacementCriteria(1.0, 1.0, 0.0),
+    "fanio-only": ReplacementCriteria(0.0, 0.0, 1.0),
+}
+
+
+@pytest.fixture(scope="module")
+def criteria_sweep():
+    results = {}
+    for name in CIRCUITS:
+        graph = build_task_graph(load_circuit(name))
+        budget = graph.total_energy_j / 10.0
+        per_variant = {}
+        for label, criteria in VARIANTS.items():
+            plan = insert_nvm(graph, budget, criteria=criteria)
+            partitions = plan.schedule()
+            per_variant[label] = {
+                "barriers": plan.n_barriers,
+                "mean_bits": sum(p.commit_bits for p in partitions)
+                / len(partitions),
+                "max_bits": plan.max_commit_bits,
+            }
+        results[name] = per_variant
+    return results
+
+
+def test_criteria_ablation_table(benchmark, criteria_sweep):
+    results = benchmark.pedantic(lambda: criteria_sweep, rounds=1, iterations=1)
+    rows = []
+    for circuit, per_variant in results.items():
+        for label, stats in per_variant.items():
+            rows.append(
+                [circuit, label, stats["barriers"],
+                 f"{stats['mean_bits']:.1f}", stats["max_bits"]]
+            )
+    print()
+    print(
+        format_table(
+            ["circuit", "criteria", "barriers", "mean commit bits", "max bits"],
+            rows,
+            title="Replacement criteria ablation",
+        )
+    )
+
+
+def test_fanio_criterion_minimizes_writes(criteria_sweep):
+    for circuit, per_variant in criteria_sweep.items():
+        assert (
+            per_variant["fanio-only"]["mean_bits"]
+            <= per_variant["no-fanio"]["mean_bits"] + 1e-9
+        ), circuit
+
+
+def test_all_criteria_no_wider_than_no_fanio(criteria_sweep):
+    for circuit, per_variant in criteria_sweep.items():
+        assert (
+            per_variant["all"]["mean_bits"]
+            <= per_variant["no-fanio"]["mean_bits"] * 1.05 + 1e-9
+        ), circuit
+
+
+def test_every_variant_produces_valid_schedule(criteria_sweep):
+    for per_variant in criteria_sweep.values():
+        for stats in per_variant.values():
+            assert stats["barriers"] > 0

@@ -1,0 +1,88 @@
+"""FIG2 — tree illustrations of an 8-input/1-output design (paper Fig. 2).
+
+Reproduces the worked example of Section IV-A: a balanced 8-input tree
+whose operands are reshaped by the three policies.  The figure's semantics:
+
+* the original tree has 7 two-input function nodes (F1..F7);
+* Policy 1 splits oversized operands into smaller tasks;
+* Policy 2 merges small operands into larger ones (F5-F8 -> F13 in the
+  paper's labelling);
+* Policy 3 brackets operand energy between a lower and an upper bound
+  (20 mJ / 25 mJ per operand in the paper's example).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import balanced_tree_circuit
+from repro.core import (
+    PolicyConfig,
+    apply_policy1,
+    apply_policy2,
+    apply_policy3,
+    build_task_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def tree_graph():
+    return build_task_graph(balanced_tree_circuit(8))
+
+
+def _bounds(graph, low_frac: float, high_frac: float) -> PolicyConfig:
+    """Policy bounds bracketing the mean operand energy (the 20/25 mJ of
+    the worked example, expressed relative to this tree's energy scale)."""
+    mean = graph.total_energy_j / len(graph)
+    return PolicyConfig(
+        split_threshold_j=high_frac * mean, merge_threshold_j=low_frac * mean
+    )
+
+
+def test_fig2_original_tree_shape(benchmark, tree_graph):
+    graph = benchmark(lambda: build_task_graph(balanced_tree_circuit(8)))
+    assert len(graph) == 7  # F1..F7
+    assert graph.depth == 3
+
+
+def test_fig2_policy2_merges_operands(benchmark, tree_graph):
+    config = _bounds(tree_graph, low_frac=2.0, high_frac=4.0)
+    merged = benchmark(lambda: apply_policy2(tree_graph, config))
+    merged.check()
+    assert len(merged) < len(tree_graph)
+    print(f"\nFIG2 Policy2: {len(tree_graph)} -> {len(merged)} operands")
+
+
+def test_fig2_policy1_splits_operands(benchmark):
+    # Start from a coarse (level-grouped) tree so there is something to split.
+    coarse = build_task_graph(balanced_tree_circuit(16), granularity="level")
+    biggest = max(n.feature.energy_j for n in coarse.nodes.values())
+    config = PolicyConfig(split_threshold_j=biggest / 2, merge_threshold_j=0.0)
+    split = benchmark(lambda: apply_policy1(coarse, config))
+    split.check()
+    assert len(split) > len(coarse)
+    print(f"\nFIG2 Policy1: {len(coarse)} -> {len(split)} operands")
+
+
+def test_fig2_policy3_brackets_both(benchmark, tree_graph):
+    config = _bounds(tree_graph, low_frac=1.2, high_frac=1.8)
+    hybrid = benchmark(lambda: apply_policy3(tree_graph, config))
+    hybrid.check()
+    energies = [n.feature.energy_j for n in hybrid.nodes.values()]
+    # Policy 3 sits between the extremes: fewer nodes than Policy 1's
+    # output, more than (or equal to) Policy 2's most aggressive merge.
+    aggressive = apply_policy2(tree_graph, _bounds(tree_graph, 3.0, 6.0))
+    assert len(aggressive) <= len(hybrid) <= 7
+    print(
+        f"\nFIG2 Policy3: {len(hybrid)} operands, energy range "
+        f"[{min(energies):.2e}, {max(energies):.2e}] J"
+    )
+
+
+def test_fig2_policies_preserve_gates(tree_graph):
+    config = _bounds(tree_graph, low_frac=1.2, high_frac=1.8)
+    for transform in (apply_policy1, apply_policy2, apply_policy3):
+        result = transform(tree_graph, config)
+        before = {g for n in tree_graph.nodes.values() for g in n.gates}
+        after = {g for n in result.nodes.values() for g in n.gates}
+        assert before == after

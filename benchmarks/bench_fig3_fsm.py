@@ -1,0 +1,73 @@
+"""FIG3 — the state machine of the intermittent-aware node (paper Fig. 3).
+
+Exercises the Algorithm 1 controller and checks the transition structure
+of Fig. 3(a): every operating state is reachable, operations only start
+above their thresholds, and each operation returns to Sleep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import EnergyStorage, ThresholdSet, steady_trace
+from repro.fsm import IntermittentController, NodeState, OperationCosts
+
+
+def run_controller(power_w: float, duration_s: float = 400.0):
+    thresholds = ThresholdSet.paper_defaults()
+    storage = EnergyStorage(
+        e_max_j=thresholds.e_max_j, energy_j=0.5 * thresholds.e_max_j
+    )
+    controller = IntermittentController(
+        storage=storage,
+        thresholds=thresholds,
+        trace=steady_trace(power_w),
+        costs=OperationCosts(uncertainty=0.0),
+        sense_interval_s=60.0,
+        dt_s=0.05,
+    )
+    return controller.run(duration_s)
+
+
+def test_fig3_all_operating_states_reachable(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_controller(power_w=500e-6), rounds=1, iterations=1
+    )
+    visited = {state for _t, _e, state in result.timeline}
+    assert NodeState.SLEEP in visited
+    assert result.count("senses") >= 1
+    assert result.count("computes") >= 1
+    assert result.count("transmits") >= 1
+    print(f"\nFIG3 counters: {dict(result.counters)}")
+
+
+def test_fig3_sleep_is_home_state(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_controller(power_w=400e-6), rounds=1, iterations=1
+    )
+    # The node parks in Sleep between operations (Fig. 3(a): every arc
+    # returns to Sp).
+    sleep_samples = sum(
+        1 for _t, _e, s in result.timeline if s is NodeState.SLEEP
+    )
+    assert sleep_samples > len(result.timeline) * 0.5
+
+
+def test_fig3_reg_flag_progression(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_controller(power_w=500e-6), rounds=1, iterations=1
+    )
+    ops = [e.kind for e in result.events if e.kind in ("sense", "compute", "transmit")]
+    # The one-hot Reg_Flag walks Se -> Cp -> Tr cyclically.
+    for i in range(0, len(ops) - 2, 3):
+        assert ops[i : i + 3] == ["sense", "compute", "transmit"]
+
+
+def test_fig3_backup_state_on_power_interrupt(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_controller(power_w=0.0, duration_s=3000.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.count("backups") >= 1
+    assert result.count("power_interrupts") >= 1

@@ -1,0 +1,81 @@
+"""FIG4 — E_batt and charging rate over the six-region timeline.
+
+Regenerates the paper's Fig. 4: the stored-energy timeline of the 25 mJ
+node under the published charging-rate scenario, with the six annotated
+events:
+
+1. surplus charging -> E_batt saturates at E_MAX (25 mJ);
+2. moderate charging -> duty cycling between Th_Cp and the safe zone;
+3. sudden decline -> registers backed up at Th_Bk;
+4. sustained drought -> E_batt below Th_Off, full shutdown, later restore;
+5. safe-zone dips that recover without any NVM write;
+6. an interruption whose leakage forces a backup, but charging returns
+   before Th_Off (no restore needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import ThresholdSet, fig4_trace
+from repro.fsm import IntermittentSensorNode, SensorNodeConfig
+from repro.viz import line_plot
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    trace = fig4_trace()
+    node = IntermittentSensorNode(trace, SensorNodeConfig(seed=3))
+    return node.run(trace.period_s)
+
+
+def test_fig4_timeline(benchmark):
+    trace = fig4_trace()
+
+    def run():
+        node = IntermittentSensorNode(trace, SensorNodeConfig(seed=3))
+        return node.run(trace.period_s)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    th = ThresholdSet.paper_defaults()
+    times, energies = result.energy_series()
+    print()
+    print(
+        line_plot(
+            times,
+            [e * 1e3 for e in energies],
+            width=100,
+            height=18,
+            title="FIG4: E_batt (mJ) over the six-region charging scenario",
+            y_markers={
+                "Th_Tr": th.transmit_j * 1e3,
+                "Th_Cp": th.compute_j * 1e3,
+                "Th_Safe": th.safe_j * 1e3,
+                "Th_Bk": th.backup_j * 1e3,
+                "Th_Off": th.off_j * 1e3,
+            },
+        )
+    )
+    print("events:", {k: v for k, v in result.counters.items() if v})
+
+
+def test_fig4_event1_saturation(fig4_result):
+    assert any(e.t_s < 700.0 for e in fig4_result.events_of("e_max"))
+
+
+def test_fig4_event3_backup_on_decline(fig4_result):
+    assert any(1300.0 < e.t_s < 2250.0 for e in fig4_result.events_of("backup"))
+
+
+def test_fig4_event4_shutdown_and_restore(fig4_result):
+    assert any(1300.0 < e.t_s < 2250.0 for e in fig4_result.events_of("shutdown"))
+    assert any(2100.0 < e.t_s < 2600.0 for e in fig4_result.events_of("restore"))
+
+
+def test_fig4_event5_safe_zone_recoveries(fig4_result):
+    assert fig4_result.count("safe_zone_recoveries") >= 3
+
+
+def test_fig4_event6_backup_without_outage(fig4_result):
+    assert [e for e in fig4_result.events_of("backup") if e.t_s > 3300.0]
+    assert not [e for e in fig4_result.events_of("shutdown") if e.t_s > 3300.0]

@@ -1,0 +1,42 @@
+"""FIG5 — normalized PDP of the four schemes on the full benchmark roster.
+
+Regenerates the paper's Fig. 5: for each of the 24 circuits (12 ISCAS-89,
+8 ITC-99, 4 MCNC), the PDP of NV-based / NV-clustering / DIAC / optimized
+DIAC normalized to NV-based.  The absolute numbers depend on our simulated
+substrate; the *shape* assertions encode what the paper's figure shows:
+
+* optimized DIAC < DIAC < NV-clustering < NV-based on every circuit;
+* the optimized variant's gain comes from fewer NVM writes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import SCHEME_ORDER
+from repro.evaluation import evaluate_circuit
+from repro.metrics import format_normalized_pdp, normalized_table
+
+
+def test_fig5_full_roster(benchmark, suite_evaluations):
+    evaluations = benchmark.pedantic(
+        lambda: suite_evaluations, rounds=1, iterations=1
+    )
+    table = normalized_table(evaluations)
+    print()
+    print(format_normalized_pdp(table, SCHEME_ORDER))
+    for name, row in table.items():
+        assert row["Optimized DIAC"] < row["DIAC"], name
+        assert row["DIAC"] < row["NV-clustering"], name
+        assert row["NV-clustering"] < row["NV-based"], name
+
+
+def test_fig5_optimized_writes_fewer_bits(suite_evaluations):
+    for evaluation in suite_evaluations:
+        plain = evaluation.results["DIAC"]
+        optimized = evaluation.results["Optimized DIAC"]
+        assert optimized.nvm_bits_written < plain.nvm_bits_written, evaluation.name
+
+
+def test_fig5_single_circuit_cost(benchmark):
+    """Cost of one circuit's complete four-scheme evaluation (s1423)."""
+    evaluation = benchmark(lambda: evaluate_circuit("s1423"))
+    assert evaluation.normalized_pdp()["Optimized DIAC"] < 1.0

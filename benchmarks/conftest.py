@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+The full-suite evaluation (24 circuits x 4 schemes) is computed once per
+session and shared by the Fig. 5 bench and the in-text-averages bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import CircuitEvaluation, evaluate_suite
+from repro.suite import ROSTER
+
+
+@pytest.fixture(scope="session")
+def suite_evaluations() -> list[CircuitEvaluation]:
+    """Evaluations for the complete Fig. 5 roster."""
+    return evaluate_suite([b.name for b in ROSTER])

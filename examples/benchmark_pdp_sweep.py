@@ -1,0 +1,61 @@
+"""Regenerate the paper's Fig. 5 and the Section IV-B improvement averages.
+
+Run:
+    python examples/benchmark_pdp_sweep.py            # fast subset
+    python examples/benchmark_pdp_sweep.py --full     # all 24 circuits
+
+Evaluates the benchmark roster under the four schemes and prints (a) the
+normalized-PDP table behind Fig. 5 and (b) the paper-vs-measured
+comparison for every in-text improvement claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import SCHEME_ORDER
+from repro.evaluation import evaluate_suite
+from repro.metrics import (
+    format_normalized_pdp,
+    format_paper_vs_measured,
+    normalized_table,
+    paper_vs_measured,
+    suite_improvements,
+)
+from repro.suite import ROSTER, small_roster
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="evaluate all 24 roster circuits (default: <=1000-gate subset)",
+    )
+    args = parser.parse_args()
+
+    roster = ROSTER if args.full else small_roster(max_gates=1000)
+    names = [b.name for b in roster]
+    print(f"evaluating {len(names)} circuits: {', '.join(names)}\n")
+
+    evaluations = evaluate_suite(names)
+
+    print(format_normalized_pdp(normalized_table(evaluations), SCHEME_ORDER))
+    print()
+
+    for scheme, versus in (
+        ("DIAC", "NV-based"),
+        ("DIAC", "NV-clustering"),
+        ("Optimized DIAC", "NV-based"),
+        ("Optimized DIAC", "DIAC"),
+    ):
+        per_suite = suite_improvements(evaluations, scheme, versus)
+        joined = "  ".join(f"{s}={v:5.1f}%" for s, v in per_suite.items())
+        print(f"{scheme:15s} vs {versus:15s}: {joined}")
+    print()
+
+    print(format_paper_vs_measured(paper_vs_measured(evaluations)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Bring your own design: build a netlist with the API and harden it.
+
+Run:
+    python examples/custom_circuit.py
+
+Constructs a small sensor datapath in code (a 4x4 multiplier feeding an
+accumulating register bank — the kind of kernel the paper's IoT node
+computes between sense and transmit), runs it through DIAC, verifies the
+generated HDL is functionally identical to the input, and shows how the
+NVM technology choice moves the numbers.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import GateType, array_multiplier, parse_verilog
+from repro.circuits.validate import check_equivalent
+from repro.core import DiacConfig, DiacSynthesizer
+from repro.evaluation import evaluate_design
+from repro.tech import MRAM, RERAM
+
+
+def build_mac_datapath():
+    """A 4x4 multiplier with registered outputs (a tiny MAC stage)."""
+    netlist = array_multiplier(4, name="mac4")
+    # Register every product bit: DFFs make the design's architectural
+    # state explicit, exactly what DIAC's backup path has to protect.
+    for i in range(8):
+        netlist.add_gate(f"acc{i}", GateType.DFF, [f"prod{i}"])
+    netlist.validate()
+    return netlist
+
+
+def main() -> None:
+    netlist = build_mac_datapath()
+    print(f"custom design {netlist.name}: {netlist.stats()}\n")
+
+    for technology in (MRAM, RERAM):
+        design = DiacSynthesizer(DiacConfig(technology=technology)).run(netlist)
+
+        # The generated HDL must compute the same function as the input.
+        check_equivalent(netlist, parse_verilog(design.code.verilog))
+
+        evaluation = evaluate_design(design)
+        norm = evaluation.normalized_pdp()
+        print(
+            f"{technology.name:5s}  "
+            f"clustering={norm['NV-clustering']:.3f}  "
+            f"diac={norm['DIAC']:.3f}  "
+            f"optimized={norm['Optimized DIAC']:.3f}  "
+            f"(commit {design.plan.max_commit_bits} bits, "
+            f"{design.plan.n_barriers} barriers)"
+        )
+
+    print(
+        "\nHDL round-trip verified: the NV-enhanced design is functionally\n"
+        "identical to the input netlist on random stimulus."
+    )
+
+
+if __name__ == "__main__":
+    main()

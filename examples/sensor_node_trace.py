@@ -1,0 +1,73 @@
+"""The batteryless RFID sensor node of Fig. 3(b) / Fig. 4.
+
+Run:
+    python examples/sensor_node_trace.py
+
+Simulates the paper's 2 mF / 25 mJ node through the six-region charging
+scenario of Fig. 4 and renders the stored-energy timeline with the six
+annotated events: saturation, duty cycling, forced backup, shutdown and
+restore, write-free safe-zone recoveries, and the leakage-driven backup
+that never reaches a full outage.
+"""
+
+from __future__ import annotations
+
+from repro.energy import ThresholdSet, fig4_trace
+from repro.fsm import IntermittentSensorNode, SensorNodeConfig
+from repro.viz import line_plot
+
+
+def main() -> None:
+    trace = fig4_trace()
+    thresholds = ThresholdSet.paper_defaults()
+    node = IntermittentSensorNode(trace, SensorNodeConfig(seed=3))
+    result = node.run(trace.period_s)
+
+    times, energies = result.energy_series()
+    print(
+        line_plot(
+            times,
+            [e * 1e3 for e in energies],
+            width=110,
+            height=20,
+            title="E_batt (mJ) under the Fig. 4 charging scenario",
+            y_markers={
+                "Th_Tr (12 mJ)": thresholds.transmit_j * 1e3,
+                "Th_Cp (8 mJ)": thresholds.compute_j * 1e3,
+                "Th_Safe (5 mJ)": thresholds.safe_j * 1e3,
+                "Th_Bk (3 mJ)": thresholds.backup_j * 1e3,
+                "Th_Off (1.5 mJ)": thresholds.off_j * 1e3,
+            },
+        )
+    )
+    print()
+
+    print("event log (the paper's annotations 1-6):")
+    interesting = {
+        "e_max": "(1) capacitor saturated at E_MAX",
+        "backup": "(3)/(6) registers backed up to NVM",
+        "shutdown": "(4) energy below Th_Off - system off",
+        "restore": "(4) state restored from NVM",
+        "safe_zone_recovery": "(5) safe-zone dip recovered, no NVM write",
+    }
+    for event in result.events:
+        if event.kind in interesting:
+            print(f"  t={event.t_s:7.1f}s  {interesting[event.kind]}")
+    print()
+
+    print("run counters:")
+    for key, value in sorted(result.counters.items()):
+        if value:
+            print(f"  {key:24s} {value}")
+
+    # The headline: the safe zone converted dips into free recoveries.
+    recoveries = result.count("safe_zone_recoveries")
+    backups = result.count("backups")
+    print(
+        f"\n{recoveries} of {recoveries + backups} low-energy episodes "
+        f"recovered without an NVM write — the optimized-DIAC advantage."
+    )
+
+
+if __name__ == "__main__":
+    main()

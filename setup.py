@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+A setup.py is kept so `pip install -e .` works on environments without the
+`wheel` package (legacy editable installs), e.g. fully offline machines.
+"""
+
+from setuptools import setup
+
+setup()

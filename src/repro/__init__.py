@@ -1,0 +1,57 @@
+"""Reproduction of *DIAC: Design Exploration of Intermittent-Aware
+Computing Realizing Batteryless Systems* (DATE 2024).
+
+The package implements the full DIAC flow — tree generation, task
+granularity policies, NVM replacement, code generation — together with the
+substrates the paper depends on: a gate-level netlist IR with ISCAS-89 and
+BLIF parsers, a 45 nm characterization library, NVM technology models, a
+CACTI-style array cost model, an energy-harvesting / capacitor simulation,
+the Algorithm 1 finite-state machine, an intermittent execution simulator,
+and the NV-based / NV-clustering baselines the paper compares against.
+
+Quickstart::
+
+    from repro import circuits
+    from repro.core import DiacSynthesizer
+    from repro.evaluation import evaluate_circuit
+
+    netlist = circuits.parse_bench(circuits.S27_BENCH, name="s27")
+    design = DiacSynthesizer().run(netlist)
+    print(design.report_text())
+
+    evaluation = evaluate_circuit("s27")
+    print(evaluation.normalized_pdp())
+"""
+
+from repro import calibration
+from repro.circuits import GateType, Netlist, parse_bench, parse_blif
+from repro.core import DiacConfig, DiacDesign, DiacSynthesizer
+from repro.evaluation import (
+    CircuitEvaluation,
+    evaluate_circuit,
+    evaluate_design,
+    evaluate_suite,
+)
+from repro.tech import MRAM, RERAM, NvmTechnology, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitEvaluation",
+    "DiacConfig",
+    "DiacDesign",
+    "DiacSynthesizer",
+    "GateType",
+    "MRAM",
+    "Netlist",
+    "NvmTechnology",
+    "RERAM",
+    "__version__",
+    "calibration",
+    "evaluate_circuit",
+    "evaluate_design",
+    "evaluate_suite",
+    "parse_bench",
+    "parse_blif",
+    "synthesize",
+]

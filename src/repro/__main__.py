@@ -1,0 +1,5 @@
+"""``python -m repro`` — the DIAC design-tool CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

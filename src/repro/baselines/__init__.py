@@ -1,0 +1,17 @@
+"""Baseline intermittent-computing schemes the paper compares against."""
+
+from repro.baselines.schemes import (
+    SCHEME_ORDER,
+    all_profiles,
+    profile_diac,
+    profile_nv_based,
+    profile_nv_clustering,
+)
+
+__all__ = [
+    "SCHEME_ORDER",
+    "all_profiles",
+    "profile_diac",
+    "profile_nv_based",
+    "profile_nv_clustering",
+]

@@ -1,0 +1,75 @@
+"""Gate-level circuit substrate: netlist IR, parsers, generators."""
+
+from repro.circuits.bench_parser import (
+    BenchParseError,
+    load_bench,
+    parse_bench,
+    write_bench,
+)
+from repro.circuits.blif_parser import BlifParseError, load_blif, parse_blif
+from repro.circuits.data_s27 import S27_BENCH
+from repro.circuits.gates import GateArityError, GateType, evaluate_gate
+from repro.circuits.generators import (
+    CircuitSpec,
+    array_multiplier,
+    balanced_tree_circuit,
+    generate_circuit,
+    majority_voter,
+    parity_tree,
+    ripple_carry_adder,
+    sequential_counter,
+)
+from repro.circuits.levelize import (
+    Levelization,
+    critical_path_delay,
+    cut_width,
+    fanin_cone,
+    levelize,
+)
+from repro.circuits.netlist import Gate, Netlist, NetlistError
+from repro.circuits.optimize import (
+    cancel_double_inverters,
+    optimize,
+    propagate_constants,
+    remove_dead_gates,
+    sweep_buffers,
+)
+from repro.circuits.verilog import VerilogError, parse_verilog, write_verilog
+
+__all__ = [
+    "BenchParseError",
+    "BlifParseError",
+    "CircuitSpec",
+    "Gate",
+    "GateArityError",
+    "GateType",
+    "Levelization",
+    "Netlist",
+    "NetlistError",
+    "S27_BENCH",
+    "VerilogError",
+    "array_multiplier",
+    "balanced_tree_circuit",
+    "cancel_double_inverters",
+    "critical_path_delay",
+    "cut_width",
+    "evaluate_gate",
+    "fanin_cone",
+    "generate_circuit",
+    "levelize",
+    "load_bench",
+    "load_blif",
+    "majority_voter",
+    "optimize",
+    "parity_tree",
+    "parse_bench",
+    "parse_blif",
+    "parse_verilog",
+    "propagate_constants",
+    "remove_dead_gates",
+    "ripple_carry_adder",
+    "sequential_counter",
+    "sweep_buffers",
+    "write_bench",
+    "write_verilog",
+]

@@ -1,0 +1,215 @@
+"""Parser for the Berkeley Logic Interchange Format (BLIF) used by MCNC.
+
+Only the structural subset needed for the MCNC combinational/sequential
+benchmarks is supported:
+
+* ``.model / .inputs / .outputs / .end``
+* ``.names`` single-output cover tables (SOP), decomposed into
+  AND/OR/NOT/CONST gates,
+* ``.latch`` (mapped to a DFF; clocking details are ignored).
+
+Line continuations with ``\\`` are handled.  Unsupported constructs raise
+:class:`BlifParseError` rather than being silently skipped.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist, NetlistError
+
+
+class BlifParseError(ValueError):
+    """Raised when a BLIF source cannot be parsed."""
+
+
+def _logical_lines(text: str) -> list[str]:
+    """Split BLIF text into logical lines, joining ``\\`` continuations."""
+    lines: list[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not buffer:
+            continue
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        if buffer.strip():
+            lines.append(buffer.strip())
+        buffer = ""
+    if buffer.strip():
+        lines.append(buffer.strip())
+    return lines
+
+
+class _NameAllocator:
+    """Generates fresh internal net names that cannot clash with user nets."""
+
+    def __init__(self, taken: set[str]) -> None:
+        self._taken = taken
+        self._counter = 0
+
+    def fresh(self, stem: str) -> str:
+        while True:
+            candidate = f"_{stem}_{self._counter}"
+            self._counter += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+
+def _build_product(
+    netlist: Netlist,
+    alloc: _NameAllocator,
+    inputs: list[str],
+    row: str,
+) -> str:
+    """Build the AND term for one cover row; returns the net carrying it."""
+    literals: list[str] = []
+    for net, char in zip(inputs, row):
+        if char == "-":
+            continue
+        if char == "1":
+            literals.append(net)
+        elif char == "0":
+            inv = alloc.fresh("inv")
+            netlist.add_gate(inv, GateType.NOT, [net])
+            literals.append(inv)
+        else:
+            raise BlifParseError(f"bad cover character {char!r} in row {row!r}")
+    if not literals:
+        const = alloc.fresh("const1")
+        netlist.add_gate(const, GateType.CONST1)
+        return const
+    if len(literals) == 1:
+        return literals[0]
+    term = alloc.fresh("and")
+    netlist.add_gate(term, GateType.AND, literals)
+    return term
+
+
+def _finish_names(
+    netlist: Netlist,
+    alloc: _NameAllocator,
+    header: list[str],
+    rows: list[tuple[str, str]],
+) -> None:
+    """Materialize one ``.names`` block as gates."""
+    if not header:
+        raise BlifParseError(".names with no signals")
+    output = header[-1]
+    inputs = header[:-1]
+    if not rows:
+        netlist.add_gate(output, GateType.CONST0)
+        return
+    polarities = {out for _, out in rows}
+    if len(polarities) != 1:
+        raise BlifParseError(f".names {output!r} mixes output polarities")
+    polarity = polarities.pop()
+    if not inputs:
+        # Constant function: a single row with an empty input part.
+        gtype = GateType.CONST1 if polarity == "1" else GateType.CONST0
+        netlist.add_gate(output, gtype)
+        return
+    terms = [_build_product(netlist, alloc, inputs, row) for row, _ in rows]
+    if polarity == "1":
+        if len(terms) == 1:
+            netlist.add_gate(output, GateType.BUF, [terms[0]])
+        else:
+            netlist.add_gate(output, GateType.OR, terms)
+    else:
+        # Off-set cover: output is the NOR of the products (0 rows give 0).
+        if len(terms) == 1:
+            netlist.add_gate(output, GateType.NOT, [terms[0]])
+        else:
+            netlist.add_gate(output, GateType.NOR, terms)
+
+
+def parse_blif(text: str, name: str | None = None) -> Netlist:
+    """Parse BLIF source into a netlist of primitive gates.
+
+    Args:
+        text: BLIF file contents.
+        name: optional override for the netlist name (defaults to the
+            ``.model`` name, or ``"blif"``).
+
+    Returns:
+        The parsed, validated :class:`Netlist`.
+
+    Raises:
+        BlifParseError: on malformed or unsupported constructs.
+    """
+    lines = _logical_lines(text)
+    netlist = Netlist(name=name or "blif")
+    declared_inputs: list[str] = []
+    declared_outputs: list[str] = []
+    pending_header: list[str] | None = None
+    pending_rows: list[tuple[str, str]] = []
+    alloc: _NameAllocator | None = None
+
+    def flush_pending() -> None:
+        nonlocal pending_header, pending_rows
+        if pending_header is not None:
+            assert alloc is not None
+            _finish_names(netlist, alloc, pending_header, pending_rows)
+        pending_header, pending_rows = None, []
+
+    all_tokens = {tok for line in lines for tok in line.split()}
+    alloc = _NameAllocator(set(all_tokens))
+
+    for line in lines:
+        if line.startswith("."):
+            parts = line.split()
+            directive, args = parts[0], parts[1:]
+            if directive == ".model":
+                if name is None and args:
+                    netlist.name = args[0]
+                continue
+            flush_pending()
+            if directive == ".inputs":
+                declared_inputs.extend(args)
+            elif directive == ".outputs":
+                declared_outputs.extend(args)
+            elif directive == ".names":
+                pending_header = args
+            elif directive == ".latch":
+                if len(args) < 2:
+                    raise BlifParseError(f"bad .latch line: {line!r}")
+                data_in, data_out = args[0], args[1]
+                netlist.add_gate(data_out, GateType.DFF, [data_in])
+            elif directive == ".end":
+                break
+            elif directive in {".clock", ".wire_load_slope", ".default_input_arrival"}:
+                continue  # harmless metadata
+            else:
+                raise BlifParseError(f"unsupported BLIF directive {directive!r}")
+        else:
+            if pending_header is None:
+                raise BlifParseError(f"cover row outside .names: {line!r}")
+            parts = line.split()
+            if len(parts) == 1 and not pending_header[:-1]:
+                # Constant: single output column.
+                pending_rows.append(("", parts[0]))
+            elif len(parts) == 2:
+                pending_rows.append((parts[0], parts[1]))
+            else:
+                raise BlifParseError(f"bad cover row: {line!r}")
+    flush_pending()
+
+    for net in declared_inputs:
+        netlist.add_input(net)
+    for net in declared_outputs:
+        netlist.add_output(net)
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise BlifParseError(str(exc)) from exc
+    return netlist
+
+
+def load_blif(path: str | Path) -> Netlist:
+    """Parse a BLIF file from disk; netlist name comes from ``.model``."""
+    path = Path(path)
+    return parse_blif(path.read_text())

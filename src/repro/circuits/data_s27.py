@@ -1,0 +1,33 @@
+"""The genuine ISCAS-89 ``s27`` benchmark netlist.
+
+``s27`` is the smallest ISCAS-89 circuit (4 inputs, 1 output, 3 flip-flops,
+10 logic gates) and is shipped verbatim so at least one suite member is the
+real published circuit rather than a synthetic stand-in.  The text below is
+the standard ``s27.bench`` distribution.
+"""
+
+S27_BENCH = """\
+# s27 (ISCAS-89)
+# 4 inputs, 1 output, 3 D-type flip-flops, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""

@@ -1,0 +1,223 @@
+"""Netlist optimization passes.
+
+The DIAC tree generator consumes "an un-optimized tree" (paper Fig. 1),
+but a production front end cleans the netlist first: constants propagate,
+dead logic disappears, double inversions cancel, and buffers are swept.
+Each pass preserves function (the test suite re-checks equivalence with
+the logic simulator) and every pass is independently callable.
+
+Passes:
+
+* :func:`propagate_constants` — folds gates whose inputs include
+  ``CONST0``/``CONST1`` (e.g. ``AND(x, 0) -> 0``, ``OR(x, 0) -> BUF(x)``).
+* :func:`sweep_buffers` — re-routes consumers of ``BUF`` gates to the
+  buffer's source (keeping buffers that drive primary outputs).
+* :func:`cancel_double_inverters` — rewires ``NOT(NOT(x))`` consumers to
+  ``x``.
+* :func:`remove_dead_gates` — drops combinational gates that reach no
+  primary output and no flip-flop.
+* :func:`optimize` — runs all passes to a fixed point.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Gate, Netlist
+
+
+def _rebuild(netlist: Netlist, gates: dict[str, Gate]) -> Netlist:
+    """New netlist with the same name/outputs over a replaced gate map."""
+    result = Netlist(name=netlist.name)
+    result.gates = dict(gates)
+    result.outputs = list(netlist.outputs)
+    return result
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Fold constant inputs through combinational gates (one fixpoint).
+
+    Controlling constants collapse the gate to a constant; neutral
+    constants drop out of the input list (degenerating to ``BUF``/``NOT``
+    when one input remains).
+    """
+    gates = dict(netlist.gates)
+    changed = True
+    while changed:
+        changed = False
+        const_of: dict[str, int] = {}
+        for gate in gates.values():
+            if gate.gtype is GateType.CONST0:
+                const_of[gate.name] = 0
+            elif gate.gtype is GateType.CONST1:
+                const_of[gate.name] = 1
+        for name, gate in list(gates.items()):
+            if not gate.is_combinational or gate.gtype in (
+                GateType.CONST0,
+                GateType.CONST1,
+            ):
+                continue
+            folded = _fold_gate(gate, const_of)
+            if folded is not None and folded != gate:
+                gates[name] = folded
+                changed = True
+    return _rebuild(netlist, gates)
+
+
+def _fold_gate(gate: Gate, const_of: dict[str, int]) -> Gate | None:
+    """Fold ``gate`` against known constant nets; None = leave unchanged."""
+    gtype = gate.gtype
+    known = [(src, const_of.get(src)) for src in gate.inputs]
+    if all(v is None for _s, v in known):
+        return None
+
+    def const(value: int) -> Gate:
+        ctype = GateType.CONST1 if value else GateType.CONST0
+        return Gate(gate.name, ctype)
+
+    def wire(src: str, inverted: bool = False) -> Gate:
+        return Gate(gate.name, GateType.NOT if inverted else GateType.BUF, (src,))
+
+    if gtype is GateType.NOT:
+        value = known[0][1]
+        return const(value ^ 1) if value is not None else None
+    if gtype is GateType.BUF:
+        value = known[0][1]
+        return const(value) if value is not None else None
+    if gtype is GateType.MUX:
+        sel = known[0][1]
+        if sel is not None:
+            chosen = gate.inputs[2] if sel else gate.inputs[1]
+            cval = const_of.get(chosen)
+            return const(cval) if cval is not None else wire(chosen)
+        return None
+
+    if gtype in (GateType.AND, GateType.NAND):
+        controlling, inverted = 0, gtype is GateType.NAND
+    elif gtype in (GateType.OR, GateType.NOR):
+        controlling, inverted = 1, gtype is GateType.NOR
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        # XOR folds constants into a parity offset.
+        parity = 1 if gtype is GateType.XNOR else 0
+        remaining = []
+        for src, value in known:
+            if value is None:
+                remaining.append(src)
+            else:
+                parity ^= value
+        if len(remaining) == len(gate.inputs):
+            return None
+        if not remaining:
+            # ``parity`` already folds the XNOR offset and every constant.
+            return const(parity)
+        if len(remaining) == 1:
+            return wire(remaining[0], inverted=bool(parity))
+        base = GateType.XNOR if parity else GateType.XOR
+        return Gate(gate.name, base, tuple(remaining))
+    else:
+        return None
+
+    # AND/NAND/OR/NOR family.
+    if any(v == controlling for _s, v in known):
+        return const(controlling ^ (1 if inverted else 0))
+    remaining = tuple(src for src, value in known if value is None)
+    if not remaining:
+        # All inputs were the neutral constant.
+        neutral = controlling ^ 1
+        return const(neutral ^ (1 if inverted else 0))
+    if len(remaining) == 1:
+        return wire(remaining[0], inverted=inverted)
+    return Gate(gate.name, gtype, remaining)
+
+
+def sweep_buffers(netlist: Netlist) -> Netlist:
+    """Bypass BUF gates; buffers driving primary outputs are kept."""
+    gates = dict(netlist.gates)
+    outputs = set(netlist.outputs)
+
+    def resolve(net: str) -> str:
+        seen = set()
+        while (
+            net in gates
+            and gates[net].gtype is GateType.BUF
+            and net not in outputs
+            and net not in seen
+        ):
+            seen.add(net)
+            net = gates[net].inputs[0]
+        return net
+
+    rewired: dict[str, Gate] = {}
+    for name, gate in gates.items():
+        if gate.is_source:
+            rewired[name] = gate
+            continue
+        new_inputs = tuple(resolve(src) for src in gate.inputs)
+        rewired[name] = (
+            gate if new_inputs == gate.inputs else Gate(name, gate.gtype, new_inputs)
+        )
+    return remove_dead_gates(_rebuild(netlist, rewired))
+
+
+def cancel_double_inverters(netlist: Netlist) -> Netlist:
+    """Rewire consumers of ``NOT(NOT(x))`` directly to ``x``."""
+    gates = dict(netlist.gates)
+
+    def resolve(net: str) -> str:
+        gate = gates.get(net)
+        if gate is None or gate.gtype is not GateType.NOT:
+            return net
+        inner = gates.get(gate.inputs[0])
+        if inner is not None and inner.gtype is GateType.NOT:
+            return resolve(inner.inputs[0])
+        return net
+
+    rewired: dict[str, Gate] = {}
+    for name, gate in gates.items():
+        if gate.is_source:
+            rewired[name] = gate
+            continue
+        new_inputs = tuple(resolve(src) for src in gate.inputs)
+        rewired[name] = (
+            gate if new_inputs == gate.inputs else Gate(name, gate.gtype, new_inputs)
+        )
+    return remove_dead_gates(_rebuild(netlist, rewired))
+
+
+def remove_dead_gates(netlist: Netlist) -> Netlist:
+    """Drop combinational gates that reach no output and no flip-flop."""
+    live: set[str] = set(netlist.outputs)
+    for gate in netlist.gates.values():
+        if gate.is_sequential:
+            live.add(gate.name)
+            live.update(gate.inputs)
+    stack = list(live)
+    while stack:
+        net = stack.pop()
+        gate = netlist.gates.get(net)
+        if gate is None:
+            continue
+        for src in gate.inputs:
+            if src not in live:
+                live.add(src)
+                stack.append(src)
+    gates = {
+        name: gate
+        for name, gate in netlist.gates.items()
+        if gate.gtype is GateType.INPUT or gate.is_sequential or name in live
+    }
+    return _rebuild(netlist, gates)
+
+
+def optimize(netlist: Netlist, max_rounds: int = 8) -> Netlist:
+    """Run all passes to a fixed point (bounded by ``max_rounds``)."""
+    current = netlist
+    for _round in range(max_rounds):
+        before = len(current.gates)
+        current = propagate_constants(current)
+        current = cancel_double_inverters(current)
+        current = sweep_buffers(current)
+        current = remove_dead_gates(current)
+        if len(current.gates) == before:
+            break
+    current.validate()
+    return current

@@ -1,0 +1,207 @@
+"""Command-line interface — the "prototyped DIAC design tool".
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro roster                         # list the Fig. 5 roster
+    python -m repro synth s27                      # run the DIAC pipeline
+    python -m repro synth path/to/design.bench     # ... on your own netlist
+    python -m repro evaluate s298 --policy 3       # four-scheme comparison
+    python -m repro sweep b10                      # design-space exploration
+    python -m repro fig4                           # the Fig. 4 timeline
+
+Netlist arguments accept roster names, ``.bench`` files, or ``.blif``
+files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import SCHEME_ORDER
+from repro.circuits import load_bench, load_blif
+from repro.circuits.netlist import Netlist
+from repro.core import DiacConfig, DiacSynthesizer
+from repro.evaluation import evaluate_design
+from repro.metrics import format_table
+from repro.suite import BY_NAME, ROSTER, load_circuit
+from repro.tech import get_technology
+
+
+def _resolve_netlist(spec: str) -> Netlist:
+    """Roster name, .bench path, or .blif path -> netlist."""
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return load_bench(path)
+    if path.suffix in (".blif", ".mcnc") and path.exists():
+        return load_blif(path)
+    if spec in BY_NAME:
+        return load_circuit(spec)
+    raise SystemExit(
+        f"error: {spec!r} is neither a roster circuit nor an existing "
+        f".bench/.blif file; roster: {', '.join(sorted(BY_NAME))}"
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> DiacConfig:
+    return DiacConfig(
+        policy=args.policy,
+        technology=get_technology(args.nvm),
+        use_safe_zone=not args.no_safe_zone,
+        validate=not args.no_validate,
+    )
+
+
+def cmd_roster(_args: argparse.Namespace) -> int:
+    rows = [
+        [b.name, b.suite, b.n_gates, b.function, b.style] for b in ROSTER
+    ]
+    print(
+        format_table(
+            ["circuit", "suite", "gates", "function", "style"],
+            rows,
+            title="Fig. 5 benchmark roster",
+        )
+    )
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    netlist = _resolve_netlist(args.circuit)
+    design = DiacSynthesizer(_config_from_args(args)).run(netlist)
+    print(design.report_text())
+    if args.emit_verilog:
+        out = Path(args.emit_verilog)
+        out.write_text(design.code.verilog)
+        print(f"\nwrote NV-enhanced HDL to {out}")
+    if not design.code.timing.passed:
+        for violation in design.code.timing.violations:
+            print(f"TIMING VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    netlist = _resolve_netlist(args.circuit)
+    design = DiacSynthesizer(_config_from_args(args)).run(netlist)
+    evaluation = evaluate_design(design)
+    norm = evaluation.normalized_pdp()
+    rows = [
+        [
+            scheme,
+            f"{evaluation.results[scheme].total_energy_j:.3e}",
+            f"{evaluation.results[scheme].active_time_s:.3e}",
+            evaluation.results[scheme].n_backups,
+            f"{norm[scheme]:.3f}",
+        ]
+        for scheme in SCHEME_ORDER
+    ]
+    print(
+        format_table(
+            ["scheme", "energy (J)", "busy time (s)", "backups", "norm. PDP"],
+            rows,
+            title=f"{netlist.name}: four-scheme comparison",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.dse import DesignSpaceExplorer
+
+    netlist = _resolve_netlist(args.circuit)
+    explorer = DesignSpaceExplorer(netlist)
+    records = explorer.sweep()
+    rows = [
+        [r.point.label(), r.n_barriers, r.n_backups, f"{r.pdp_js:.3e}"]
+        for r in sorted(records, key=lambda r: r.pdp_js)
+    ]
+    print(
+        format_table(
+            ["design point", "barriers", "backups", "PDP (Js)"],
+            rows,
+            title=f"{netlist.name}: design-space sweep",
+        )
+    )
+    best = explorer.best(records)
+    print(f"\nbest: {best.point.label()}  PDP={best.pdp_js:.3e} Js")
+    return 0
+
+
+def cmd_fig4(_args: argparse.Namespace) -> int:
+    from repro.energy import ThresholdSet, fig4_trace
+    from repro.fsm import IntermittentSensorNode, SensorNodeConfig
+    from repro.viz import line_plot
+
+    trace = fig4_trace()
+    node = IntermittentSensorNode(trace, SensorNodeConfig(seed=3))
+    result = node.run(trace.period_s)
+    times, energies = result.energy_series()
+    th = ThresholdSet.paper_defaults()
+    print(
+        line_plot(
+            times,
+            [e * 1e3 for e in energies],
+            width=100,
+            height=18,
+            title="Fig. 4: E_batt (mJ)",
+            y_markers={
+                "Th_Tr": th.transmit_j * 1e3,
+                "Th_Cp": th.compute_j * 1e3,
+                "Th_Safe": th.safe_j * 1e3,
+                "Th_Bk": th.backup_j * 1e3,
+                "Th_Off": th.off_j * 1e3,
+            },
+        )
+    )
+    print({k: v for k, v in result.counters.items() if v})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DIAC design tool (DATE 2024 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("roster", help="list the benchmark roster").set_defaults(
+        func=cmd_roster
+    )
+
+    def add_design_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit", help="roster name or .bench/.blif path")
+        p.add_argument("--policy", type=int, default=3, choices=(1, 2, 3))
+        p.add_argument("--nvm", default="mram", help="mram|reram|feram|pcm")
+        p.add_argument("--no-safe-zone", action="store_true")
+        p.add_argument("--no-validate", action="store_true")
+
+    p_synth = sub.add_parser("synth", help="run the DIAC pipeline")
+    add_design_args(p_synth)
+    p_synth.add_argument("--emit-verilog", metavar="FILE")
+    p_synth.set_defaults(func=cmd_synth)
+
+    p_eval = sub.add_parser("evaluate", help="four-scheme comparison")
+    add_design_args(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sweep = sub.add_parser("sweep", help="design-space exploration")
+    p_sweep.add_argument("circuit", help="roster name or netlist path")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    sub.add_parser("fig4", help="render the Fig. 4 timeline").set_defaults(
+        func=cmd_fig4
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""DIAC core: tree generation, policies, replacement, codegen, pipeline."""
+
+from repro.core.codegen import GeneratedCode, TimingReport, generate_code
+from repro.core.diac import DiacConfig, DiacDesign, DiacSynthesizer
+from repro.core.feature import FeatureDict
+from repro.core.policies import (
+    PolicyConfig,
+    apply_policy,
+    apply_policy1,
+    apply_policy2,
+    apply_policy3,
+    config_for_graph,
+)
+from repro.core.replacement import (
+    REG_FLAG_BITS,
+    NvmPlan,
+    Partition,
+    ReplacementCriteria,
+    insert_nvm,
+)
+from repro.core.tree import TaskGraph, TaskNode, TreeError
+from repro.core.tree_generator import build_task_graph
+
+__all__ = [
+    "DiacConfig",
+    "DiacDesign",
+    "DiacSynthesizer",
+    "FeatureDict",
+    "GeneratedCode",
+    "NvmPlan",
+    "Partition",
+    "PolicyConfig",
+    "REG_FLAG_BITS",
+    "ReplacementCriteria",
+    "TaskGraph",
+    "TaskNode",
+    "TimingReport",
+    "TreeError",
+    "apply_policy",
+    "apply_policy1",
+    "apply_policy2",
+    "apply_policy3",
+    "build_task_graph",
+    "config_for_graph",
+    "generate_code",
+    "insert_nvm",
+]

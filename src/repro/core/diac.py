@@ -1,0 +1,210 @@
+"""The end-to-end DIAC synthesis pipeline (paper Fig. 1).
+
+Ties the seven steps together:
+
+1.  take a gate-level design (the parsers/generators are the high-level
+    front end),
+2.  characterize it with the synthesis surrogate,
+3.  build the un-optimized task tree with feature dictionaries,
+4a. apply a granularity policy (1, 2 or 3),
+4b. take the NVM technology model,
+5.  run the replacement procedure (criteria-driven NVM insertion),
+6.  form the NV-enhanced tree,
+7.  generate HDL and validate timing.
+
+The result object, :class:`DiacDesign`, carries everything downstream
+consumers need: the NV-enhanced graph, the commit schedule, the generated
+code, and the figures the intermittent executor uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calibration import BARRIER_BUDGET_FACTOR, DEFAULT_ACTIVITY
+from repro.circuits.netlist import Netlist
+from repro.core.codegen import GeneratedCode, generate_code
+from repro.core.policies import PolicyConfig, apply_policy, config_for_graph
+from repro.core.replacement import (
+    REG_FLAG_BITS,
+    NvmPlan,
+    ReplacementCriteria,
+    insert_nvm,
+)
+from repro.core.tree import TaskGraph
+from repro.core.tree_generator import build_task_graph
+from repro.tech.cacti import backup_array_for
+from repro.tech.nvm import MRAM, NvmTechnology
+from repro.tech.synthesis import SynthesisReport, synthesize
+
+
+@dataclass(frozen=True)
+class DiacConfig:
+    """Configuration of one DIAC synthesis run.
+
+    Attributes:
+        policy: task-granularity policy (1, 2 or 3; the paper uses 3).
+        granularity: initial tree granularity (``"gate"`` or ``"level"``).
+        activity: switching activity for the synthesis surrogate.
+        technology: NVM technology for backup arrays (paper: MRAM).
+        criteria: replacement criteria weights.
+        budget_j: per-partition energy budget; None derives it from the
+            circuit's full-state backup cost (see calibration module).
+        split_fraction: policy split bound relative to mean node energy.
+        merge_fraction: policy merge bound relative to mean node energy.
+        use_safe_zone: whether the runtime FSM uses Th_SafeZone
+            ("optimized DIAC" when True, plain "DIAC" when False).
+        target_period_s: optional clock constraint for timing validation.
+        validate: run the codegen round-trip check.
+    """
+
+    policy: int = 3
+    granularity: str = "gate"
+    activity: float = DEFAULT_ACTIVITY
+    technology: NvmTechnology = MRAM
+    criteria: ReplacementCriteria = field(default_factory=ReplacementCriteria)
+    budget_j: float | None = None
+    split_fraction: float = 1.25
+    merge_fraction: float = 1.0
+    use_safe_zone: bool = True
+    target_period_s: float | None = None
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in (1, 2, 3):
+            raise ValueError("policy must be 1, 2 or 3")
+
+
+@dataclass
+class DiacDesign:
+    """Output of one DIAC synthesis run.
+
+    Attributes:
+        netlist: the source circuit.
+        report: its synthesis characterization.
+        graph: the NV-enhanced task graph (barriers placed).
+        plan: the replacement plan (schedule, commit bits, arrays).
+        code: generated HDL + timing report.
+        config: the configuration that produced this design.
+        policy_config: the derived split/merge bounds.
+    """
+
+    netlist: Netlist
+    report: SynthesisReport
+    graph: TaskGraph
+    plan: NvmPlan
+    code: GeneratedCode
+    config: DiacConfig
+    policy_config: PolicyConfig
+
+    # -- derived figures -------------------------------------------------------
+
+    @property
+    def state_bits(self) -> int:
+        """Architectural state: flip-flops + primary outputs + Reg_Flag."""
+        return (
+            self.netlist.num_ffs + len(self.netlist.outputs) + REG_FLAG_BITS
+        )
+
+    @property
+    def full_backup_energy_j(self) -> float:
+        """Energy of committing the full architectural state once."""
+        array = backup_array_for(self.state_bits, self.config.technology)
+        return array.write_cost(self.state_bits).energy_j
+
+    @property
+    def pass_energy_j(self) -> float:
+        """Energy of one evaluation pass (logic + flip-flop clocking)."""
+        return (
+            self.report.total_dynamic_energy_j
+            + self.report.static_energy_j()
+            + self.report.ff_clock_energy_j
+        )
+
+    @property
+    def pass_time_s(self) -> float:
+        """Wall-clock time of one evaluation pass."""
+        if self.netlist.num_ffs:
+            return max(self.report.critical_path_s, self.report.library.clock_period_s)
+        return self.report.critical_path_s
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for reports."""
+        return {
+            **{f"synth_{k}": v for k, v in self.report.summary().items()},
+            **{f"plan_{k}": v for k, v in self.plan.summary().items()},
+            "nodes": float(len(self.graph)),
+            "depth": float(self.graph.depth),
+            "state_bits": float(self.state_bits),
+            "pass_energy_pj": self.pass_energy_j * 1e12,
+            "timing_ok": float(self.code.timing.passed),
+        }
+
+    def report_text(self) -> str:
+        """Human-readable synthesis report."""
+        lines = [f"DIAC design report — {self.netlist.name}"]
+        lines.append(
+            f"  policy {self.config.policy}, NVM {self.config.technology.name}, "
+            f"safe zone {'on' if self.config.use_safe_zone else 'off'}"
+        )
+        for key, value in self.summary().items():
+            lines.append(f"  {key:28s} {value:.6g}")
+        return "\n".join(lines)
+
+
+class DiacSynthesizer:
+    """The DIAC design tool: netlist in, intermittent-robust design out.
+
+    "This will necessitate an efficient, precise, automated design tool
+    that seamlessly converts any combinational and sequential designs into
+    intermittent robust architectures without human intervention."
+    """
+
+    def __init__(self, config: DiacConfig | None = None) -> None:
+        self.config = config or DiacConfig()
+
+    def derive_budget_j(self, netlist: Netlist) -> float:
+        """Default barrier-spacing budget for ``netlist``.
+
+        Proportional to the circuit's full-state backup cost: spacing
+        partitions at about the cost of one full backup balances the
+        expected half-partition re-execution loss against the savings from
+        narrower commits (see calibration notes).
+        """
+        state_bits = netlist.num_ffs + len(netlist.outputs) + REG_FLAG_BITS
+        array = backup_array_for(state_bits, self.config.technology)
+        return BARRIER_BUDGET_FACTOR * array.write_cost(state_bits).energy_j
+
+    def run(self, netlist: Netlist) -> DiacDesign:
+        """Run the full pipeline on ``netlist``.
+
+        Returns:
+            The synthesized :class:`DiacDesign`.
+        """
+        cfg = self.config
+        report = synthesize(netlist, activity=cfg.activity)
+        graph = build_task_graph(
+            netlist, report=report, granularity=cfg.granularity
+        )
+        policy_config = config_for_graph(
+            graph,
+            split_fraction=cfg.split_fraction,
+            merge_fraction=cfg.merge_fraction,
+        )
+        shaped = apply_policy(graph, cfg.policy, policy_config)
+        budget = cfg.budget_j if cfg.budget_j is not None else self.derive_budget_j(netlist)
+        plan = insert_nvm(
+            shaped, budget, technology=cfg.technology, criteria=cfg.criteria
+        )
+        code = generate_code(plan, target_period_s=cfg.target_period_s)
+        if cfg.validate:
+            code.roundtrip_check()
+        return DiacDesign(
+            netlist=netlist,
+            report=report,
+            graph=plan.graph,
+            plan=plan,
+            code=code,
+            config=cfg,
+            policy_config=policy_config,
+        )

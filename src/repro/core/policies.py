@@ -1,0 +1,300 @@
+"""Task-granularity policies — paper Section III-A and Fig. 2.
+
+The tree generator emits an un-optimized tree; three policies reshape its
+granularity against the harvester's characteristics:
+
+* **Policy 1** — "Large components (functions) will be broken into smaller
+  tasks with lower power to meet avg(F_power) < V_th << V_peak".  Best
+  resiliency (small atomic units), worst performance (more boundaries).
+* **Policy 2** — "Small components will be merged into larger components
+  with a higher power to meet max(F_power) << V_th and
+  min(F_power) = n% · Max".  Best performance, lowest resiliency.
+* **Policy 3** — the hybrid: split everything above an upper energy bound,
+  merge everything below a lower bound (the paper's worked example uses
+  25 mJ / 20 mJ per operand).
+
+All transforms preserve the two :class:`~repro.core.tree.TaskGraph`
+invariants.  Safety arguments, used instead of expensive cycle checks:
+
+* splitting one node into chunks that are contiguous in a global
+  topological order can never create a cycle (any post-split cycle would
+  collapse to a pre-split cycle);
+* contracting an edge ``u → v`` is safe when ``u`` is ``v``'s only
+  predecessor or ``v`` is ``u``'s only successor (no alternate path can
+  exist);
+* merging nodes of the *same level* is always safe, because every edge
+  strictly increases the level, so no directed path connects two
+  same-level nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tree import TaskGraph, TaskNode, TreeError
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Energy bounds steering the three policies.
+
+    Attributes:
+        split_threshold_j: upper bound; nodes above it are split
+            (derived from V_th / the per-burst energy budget).
+        merge_threshold_j: lower bound; nodes below it are merge
+            candidates.
+        merge_cap_j: ceiling for a merged node ("max(F_power) << V_th").
+        min_fraction: the paper's "min(F_power) = n% · Max" — merging
+            continues while the smallest node is below this fraction of the
+            largest.
+        max_passes: safety limit on merge iterations.
+    """
+
+    split_threshold_j: float
+    merge_threshold_j: float
+    merge_cap_j: float | None = None
+    min_fraction: float = 0.2
+    max_passes: int = 50
+
+    def __post_init__(self) -> None:
+        if self.split_threshold_j <= 0:
+            raise ValueError("split_threshold_j must be positive")
+        if self.merge_threshold_j < 0:
+            raise ValueError("merge_threshold_j must be >= 0")
+        if self.merge_threshold_j > self.split_threshold_j:
+            raise ValueError("merge threshold must not exceed split threshold")
+
+    @property
+    def effective_cap_j(self) -> float:
+        """Merged-node ceiling; defaults to the split threshold."""
+        return self.merge_cap_j if self.merge_cap_j is not None else self.split_threshold_j
+
+
+def config_for_graph(
+    graph: TaskGraph,
+    split_fraction: float = 1.25,
+    merge_fraction: float = 1.0,
+) -> PolicyConfig:
+    """Derive a :class:`PolicyConfig` from a graph's energy distribution.
+
+    Bounds are expressed relative to the mean node energy, mirroring the
+    paper's worked example where the upper/lower bounds bracket the typical
+    operand cost (25 mJ / 20 mJ around ~22 mJ operands).
+    """
+    if not graph.nodes:
+        raise TreeError("cannot derive a policy config for an empty graph")
+    mean = graph.total_energy_j / len(graph.nodes)
+    return PolicyConfig(
+        split_threshold_j=split_fraction * mean,
+        merge_threshold_j=merge_fraction * mean,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Policy 1 — split.
+# ---------------------------------------------------------------------------
+
+
+def apply_policy1(graph: TaskGraph, config: PolicyConfig) -> TaskGraph:
+    """Split every node whose energy exceeds the split threshold.
+
+    Chunks are contiguous runs of the node's gates in global topological
+    order, greedily packed so each chunk stays at or under the threshold
+    (single gates above the threshold become singleton chunks — gates are
+    our atomic unit).
+
+    Returns:
+        A new checked graph; the input graph is not modified.
+    """
+    topo_index = {
+        g.name: i for i, g in enumerate(graph.netlist.topological_order())
+    }
+    per_gate = {
+        g.name: graph.report.block_energy_j([g.name])
+        for g in graph.netlist.logic_gates
+    }
+    new_nodes: list[TaskNode] = []
+    for node in graph.topological_nodes():
+        if node.feature.energy_j <= config.split_threshold_j or len(node.gates) == 1:
+            new_nodes.append(TaskNode(node_id=node.node_id, gates=node.gates))
+            continue
+        ordered = sorted(node.gates, key=lambda g: topo_index[g])
+        chunks: list[list[str]] = [[]]
+        acc = 0.0
+        for gate in ordered:
+            cost = per_gate[gate]
+            if chunks[-1] and acc + cost > config.split_threshold_j:
+                chunks.append([])
+                acc = 0.0
+            chunks[-1].append(gate)
+            acc += cost
+        for i, chunk in enumerate(chunks):
+            new_nodes.append(
+                TaskNode(node_id=f"{node.node_id}.s{i}", gates=tuple(chunk))
+            )
+    result = TaskGraph(graph.netlist, graph.report, new_nodes)
+    result.check()
+    result.recompute_features()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Policy 2 — merge.
+# ---------------------------------------------------------------------------
+
+
+def _chain_merge_pass(
+    graph: TaskGraph, threshold_j: float, cap_j: float
+) -> tuple[list[TaskNode], bool]:
+    """One pass of safe edge contractions; returns (nodes, changed)."""
+    merged_into: dict[str, str] = {}
+    used: set[str] = set()
+    energies = {nid: n.feature.energy_j for nid, n in graph.nodes.items()}
+    order = sorted(graph.nodes, key=lambda nid: energies[nid])
+    for nid in order:
+        if nid in used or energies[nid] >= threshold_j:
+            continue
+        partner: str | None = None
+        # Prefer contracting with the single predecessor or single successor.
+        preds = graph.predecessors(nid)
+        succs = graph.successors(nid)
+        # Safe contractions: the single predecessor (no alternate path can
+        # re-enter this node) or the single successor (no alternate path
+        # can leave this node).
+        candidates: list[str] = []
+        if len(preds) == 1:
+            candidates.append(next(iter(preds)))
+        if len(succs) == 1:
+            candidates.append(next(iter(succs)))
+        for cand in candidates:
+            if cand in used or cand == nid:
+                continue
+            if energies[nid] + energies[cand] <= cap_j:
+                partner = cand
+                break
+        if partner is None:
+            continue
+        used.add(nid)
+        used.add(partner)
+        merged_into[partner] = nid
+    if not merged_into:
+        return list(graph.nodes.values()), False
+    groups: dict[str, list[str]] = {}
+    for nid in graph.nodes:
+        if nid in merged_into:
+            continue
+        groups[nid] = [nid]
+    for absorbed, host in merged_into.items():
+        groups[host].append(absorbed)
+    nodes = [
+        TaskNode(
+            node_id=host,
+            gates=tuple(
+                g for member in members for g in graph.nodes[member].gates
+            ),
+        )
+        for host, members in groups.items()
+    ]
+    return nodes, True
+
+
+def _level_pack_pass(
+    graph: TaskGraph, threshold_j: float, cap_j: float
+) -> tuple[list[TaskNode], bool]:
+    """Bin-pack small same-level nodes together; returns (nodes, changed)."""
+    changed = False
+    new_nodes: list[TaskNode] = []
+    for level in range(1, graph.depth + 1):
+        small = [
+            n
+            for n in graph.level_nodes(level)
+            if n.feature.energy_j < threshold_j
+        ]
+        big = [
+            n
+            for n in graph.level_nodes(level)
+            if n.feature.energy_j >= threshold_j
+        ]
+        new_nodes.extend(TaskNode(node_id=n.node_id, gates=n.gates) for n in big)
+        small.sort(key=lambda n: n.feature.energy_j, reverse=True)
+        bins: list[tuple[list[TaskNode], float]] = []
+        for node in small:
+            placed = False
+            for i, (members, total) in enumerate(bins):
+                if total + node.feature.energy_j <= cap_j:
+                    members.append(node)
+                    bins[i] = (members, total + node.feature.energy_j)
+                    placed = True
+                    break
+            if not placed:
+                bins.append(([node], node.feature.energy_j))
+        for members, _total in bins:
+            if len(members) > 1:
+                changed = True
+            host = members[0]
+            new_nodes.append(
+                TaskNode(
+                    node_id=host.node_id,
+                    gates=tuple(g for m in members for g in m.gates),
+                )
+            )
+    return new_nodes, changed
+
+
+def apply_policy2(graph: TaskGraph, config: PolicyConfig) -> TaskGraph:
+    """Merge small nodes into larger ones (paper Policy 2).
+
+    Alternates same-level bin-packing with chain contractions until the
+    smallest node reaches ``min_fraction`` of the largest, nothing below
+    the merge threshold remains, or no safe merge exists.
+    """
+    current = graph.clone()
+    current.recompute_features()
+    if not current.nodes:
+        return current
+    cap = config.effective_cap_j
+    for _pass in range(config.max_passes):
+        energies = [n.feature.energy_j for n in current.nodes.values()]
+        floor = max(
+            config.merge_threshold_j, config.min_fraction * max(energies)
+        )
+        nodes, changed_pack = _level_pack_pass(current, floor, cap)
+        if changed_pack:
+            current = TaskGraph(graph.netlist, graph.report, nodes)
+            current.check()
+            current.recompute_features()
+        nodes, changed_chain = _chain_merge_pass(current, floor, cap)
+        if changed_chain:
+            current = TaskGraph(graph.netlist, graph.report, nodes)
+            current.check()
+            current.recompute_features()
+        if not changed_pack and not changed_chain:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Policy 3 — hybrid.
+# ---------------------------------------------------------------------------
+
+
+def apply_policy3(graph: TaskGraph, config: PolicyConfig) -> TaskGraph:
+    """Split above the upper bound, then merge below the lower bound.
+
+    This is the paper's recommended operating point ("Policy3 ...
+    simultaneously provides acceptable resiliency and efficiency", used for
+    all Section IV results).
+    """
+    split_graph = apply_policy1(graph, config)
+    return apply_policy2(split_graph, config)
+
+
+def apply_policy(graph: TaskGraph, policy: int, config: PolicyConfig) -> TaskGraph:
+    """Dispatch on policy number (1, 2 or 3)."""
+    if policy == 1:
+        return apply_policy1(graph, config)
+    if policy == 2:
+        return apply_policy2(graph, config)
+    if policy == 3:
+        return apply_policy3(graph, config)
+    raise ValueError(f"unknown policy {policy!r}; expected 1, 2 or 3")

@@ -1,0 +1,285 @@
+"""The DIAC task tree (a levelized DAG of function nodes).
+
+Paper Fig. 1, step 3 produces "a feature dictionary (Dict.) and a
+tree-based illustration" of the design: nodes are functions (cones of
+gates) annotated with power, edges are dataflow.  Despite the paper's
+"tree" vocabulary the structure is a DAG — reconvergent fanout is normal
+in netlists — and this module implements it as such.
+
+A :class:`TaskGraph` always satisfies two invariants, enforced by
+:meth:`TaskGraph.check`:
+
+* **partition** — every combinational gate of the underlying netlist
+  belongs to exactly one node;
+* **acyclicity** — the node-level dataflow graph has no cycles, so nodes
+  can execute as atomic operations in level order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.feature import FeatureDict
+from repro.circuits.netlist import Netlist
+from repro.tech.synthesis import SynthesisReport
+
+
+class TreeError(ValueError):
+    """Raised when a task graph violates its invariants."""
+
+
+@dataclass
+class TaskNode:
+    """One function node: an atomic unit of forward progress.
+
+    Attributes:
+        node_id: unique identifier within the graph.
+        gates: names of the combinational gates folded into this node.
+        feature: the node's feature dictionary.
+        nvm_barrier: whether the replacement step placed an NVM commit
+            point at this node's outputs.
+        barrier_bits: state bits a commit at this node must write.
+    """
+
+    node_id: str
+    gates: tuple[str, ...]
+    feature: FeatureDict = field(default_factory=FeatureDict)
+    nvm_barrier: bool = False
+    barrier_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.gates:
+            raise TreeError(f"node {self.node_id!r} contains no gates")
+
+
+class TaskGraph:
+    """A levelized DAG of :class:`TaskNode` over a synthesized netlist.
+
+    Args:
+        netlist: the underlying circuit.
+        report: its synthesis characterization.
+        nodes: the function nodes (a partition of the combinational gates).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        report: SynthesisReport,
+        nodes: Iterable[TaskNode],
+    ) -> None:
+        self.netlist = netlist
+        self.report = report
+        self.nodes: dict[str, TaskNode] = {}
+        for node in nodes:
+            if node.node_id in self.nodes:
+                raise TreeError(f"duplicate node id {node.node_id!r}")
+            self.nodes[node.node_id] = node
+        self._owner: dict[str, str] = {}
+        for node in self.nodes.values():
+            for gate in node.gates:
+                if gate in self._owner:
+                    raise TreeError(
+                        f"gate {gate!r} owned by both {self._owner[gate]!r} "
+                        f"and {node.node_id!r}"
+                    )
+                self._owner[gate] = node.node_id
+        self._edges: dict[str, set[str]] | None = None
+        self._redges: dict[str, set[str]] | None = None
+        self._fanout: dict[str, list[str]] | None = None
+
+    # -- construction helpers -------------------------------------------------
+
+    def owner_of(self, gate: str) -> str | None:
+        """Node id owning ``gate``, or None for sources/FFs outside nodes."""
+        return self._owner.get(gate)
+
+    def _build_edges(self) -> None:
+        edges: dict[str, set[str]] = {nid: set() for nid in self.nodes}
+        redges: dict[str, set[str]] = {nid: set() for nid in self.nodes}
+        for node in self.nodes.values():
+            for gate in node.gates:
+                for src in self.netlist.gates[gate].inputs:
+                    src_owner = self._owner.get(src)
+                    if src_owner is not None and src_owner != node.node_id:
+                        edges[src_owner].add(node.node_id)
+                        redges[node.node_id].add(src_owner)
+        self._edges, self._redges = edges, redges
+
+    @property
+    def edges(self) -> dict[str, set[str]]:
+        """Adjacency map: node id -> successor node ids."""
+        if self._edges is None:
+            self._build_edges()
+        assert self._edges is not None
+        return self._edges
+
+    def successors(self, node_id: str) -> set[str]:
+        """Successor node ids of ``node_id``."""
+        return self.edges[node_id]
+
+    def predecessors(self, node_id: str) -> set[str]:
+        """Predecessor node ids of ``node_id``."""
+        if self._redges is None:
+            self._build_edges()
+        assert self._redges is not None
+        return self._redges[node_id]
+
+    def invalidate(self) -> None:
+        """Drop cached adjacency (call after mutating node membership)."""
+        self._edges = None
+        self._redges = None
+
+    def _netlist_fanout(self) -> dict[str, list[str]]:
+        """Cached netlist fanout map (the netlist is never mutated)."""
+        if self._fanout is None:
+            self._fanout = self.netlist.fanout_map()
+        return self._fanout
+
+    # -- invariants -----------------------------------------------------------
+
+    def check(self) -> None:
+        """Verify the partition and acyclicity invariants.
+
+        Raises:
+            TreeError: on any violation.
+        """
+        comb = {g.name for g in self.netlist.logic_gates}
+        owned = set(self._owner)
+        missing = comb - owned
+        extra = owned - comb
+        if missing:
+            raise TreeError(f"gates not covered by any node: {sorted(missing)[:8]}")
+        if extra:
+            raise TreeError(f"nodes own non-combinational gates: {sorted(extra)[:8]}")
+        self.topological_nodes()  # raises on cycles
+
+    def topological_nodes(self) -> list[TaskNode]:
+        """Nodes in dependency order.
+
+        Raises:
+            TreeError: if the node graph is cyclic.
+        """
+        indeg = {nid: len(self.predecessors(nid)) for nid in self.nodes}
+        ready = sorted(nid for nid, d in indeg.items() if d == 0)
+        order: list[TaskNode] = []
+        while ready:
+            nid = ready.pop()
+            order.append(self.nodes[nid])
+            for succ in sorted(self.successors(nid)):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            stuck = sorted(nid for nid, d in indeg.items() if d > 0)[:8]
+            raise TreeError(f"cycle among task nodes: {stuck}")
+        return order
+
+    # -- annotations ------------------------------------------------------------
+
+    def recompute_features(self) -> None:
+        """Refresh every node's feature dictionary from the netlist/report.
+
+        Levels follow the node DAG (sources at 1, as in the paper's figures);
+        energy and delay come from the synthesis report's analytic model.
+        """
+        self.invalidate()
+        order = self.topological_nodes()
+        levels: dict[str, int] = {}
+        for node in order:
+            preds = self.predecessors(node.node_id)
+            levels[node.node_id] = (
+                1 if not preds else 1 + max(levels[p] for p in preds)
+            )
+        for node in order:
+            nid = node.node_id
+            node.feature = FeatureDict(
+                fan_in=self._external_fanin(node),
+                fan_out=self._external_fanout(node),
+                level=levels[nid],
+                energy_j=self.report.block_energy_j(node.gates),
+                delay_s=self.report.block_critical_path_s(node.gates),
+                n_gates=len(node.gates),
+            )
+
+    def _external_fanin(self, node: TaskNode) -> int:
+        """Distinct nets entering the node from outside it."""
+        inside = set(node.gates)
+        seen: set[str] = set()
+        for gate in node.gates:
+            for src in self.netlist.gates[gate].inputs:
+                if src not in inside:
+                    seen.add(src)
+        return len(seen)
+
+    def _external_fanout(self, node: TaskNode) -> int:
+        """Distinct nets leaving the node (consumed outside or POs)."""
+        return len(self.output_nets(node))
+
+    def output_nets(self, node: TaskNode) -> set[str]:
+        """Nets driven inside ``node`` that are observable outside it.
+
+        These are the bits an NVM barrier at this node has to commit.
+        """
+        inside = set(node.gates)
+        fanout = self._netlist_fanout()
+        outs: set[str] = set()
+        outputs = set(self.netlist.outputs)
+        for gate in node.gates:
+            consumers = fanout.get(gate, [])
+            if any(c not in inside for c in consumers):
+                outs.add(gate)
+            elif gate in outputs:
+                outs.add(gate)
+        return outs
+
+    # -- aggregate views ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Maximum node level."""
+        return max((n.feature.level for n in self.nodes.values()), default=0)
+
+    def level_nodes(self, level: int) -> list[TaskNode]:
+        """Nodes at ``level``, sorted by id for determinism."""
+        return sorted(
+            (n for n in self.nodes.values() if n.feature.level == level),
+            key=lambda n: n.node_id,
+        )
+
+    @property
+    def total_energy_j(self) -> float:
+        """Sum of node energies per full evaluation pass."""
+        return sum(n.feature.energy_j for n in self.nodes.values())
+
+    @property
+    def barriers(self) -> list[TaskNode]:
+        """Nodes carrying an NVM barrier, in topological order."""
+        return [n for n in self.topological_nodes() if n.nvm_barrier]
+
+    def energy_histogram(self) -> dict[str, float]:
+        """Node-id -> energy map (for reports and plots)."""
+        return {nid: n.feature.energy_j for nid, n in self.nodes.items()}
+
+    def clone(self) -> "TaskGraph":
+        """Deep copy (nodes are re-created; netlist/report are shared)."""
+        nodes = [
+            TaskNode(
+                node_id=n.node_id,
+                gates=n.gates,
+                feature=FeatureDict(**vars(n.feature)),
+                nvm_barrier=n.nvm_barrier,
+                barrier_bits=n.barrier_bits,
+            )
+            for n in self.nodes.values()
+        ]
+        return TaskGraph(self.netlist, self.report, nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph({self.netlist.name!r}, nodes={len(self.nodes)}, "
+            f"depth={self.depth}, barriers={sum(n.nvm_barrier for n in self.nodes.values())})"
+        )

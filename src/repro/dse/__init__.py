@@ -1,0 +1,23 @@
+"""Design-space exploration: sweeps and pareto analysis."""
+
+from repro.dse.explorer import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    ExplorationRecord,
+)
+from repro.dse.pareto import pareto_front
+from repro.dse.threshold_opt import (
+    MarginOutcome,
+    best_margin,
+    sweep_safe_margin,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    "ExplorationRecord",
+    "MarginOutcome",
+    "best_margin",
+    "pareto_front",
+    "sweep_safe_margin",
+]

@@ -1,0 +1,133 @@
+"""Design-space exploration driver.
+
+The paper motivates DIAC as a *design exploration* methodology:
+"Incorporating tree-based representations, different designs, and power
+failure scenarios will exponentially expand the design space.  This will
+necessitate an efficient, precise, automated design tool."  The explorer
+sweeps the DIAC knobs — policy, barrier budget, criteria weights, NVM
+technology, safe-zone margin — evaluates each point with the intermittent
+executor, and reports the efficiency/resiliency landscape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.netlist import Netlist
+from repro.core.diac import DiacConfig, DiacSynthesizer
+from repro.core.replacement import ReplacementCriteria
+from repro.evaluation import evaluate_design
+from repro.tech.nvm import MRAM, NvmTechnology
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration in the sweep."""
+
+    policy: int = 3
+    budget_scale: float = 1.0
+    technology: NvmTechnology = MRAM
+    criteria: ReplacementCriteria = field(default_factory=ReplacementCriteria)
+    use_safe_zone: bool = True
+
+    def label(self) -> str:
+        """Compact human-readable identifier."""
+        return (
+            f"P{self.policy}/b{self.budget_scale:g}/"
+            f"{self.technology.name}/{'safe' if self.use_safe_zone else 'nosafe'}"
+        )
+
+
+@dataclass
+class ExplorationRecord:
+    """Evaluation outcome of one design point on one circuit.
+
+    Attributes:
+        point: the configuration.
+        pdp_js: absolute PDP of the DIAC scheme at this point.
+        energy_j: total energy.
+        active_time_s: busy time.
+        n_backups: commits performed (efficiency proxy).
+        reexec_energy_j: re-executed work (resiliency proxy — lower means
+            less progress is ever at risk).
+        n_barriers: barriers the replacement step placed.
+    """
+
+    point: DesignPoint
+    pdp_js: float
+    energy_j: float
+    active_time_s: float
+    n_backups: int
+    reexec_energy_j: float
+    n_barriers: int
+
+
+class DesignSpaceExplorer:
+    """Sweep DIAC configurations over one circuit.
+
+    Args:
+        netlist: the design under exploration.
+        base_config: starting configuration (defaults shared by all
+            points).
+    """
+
+    def __init__(
+        self, netlist: Netlist, base_config: DiacConfig | None = None
+    ) -> None:
+        self.netlist = netlist
+        self.base_config = base_config or DiacConfig()
+
+    def evaluate_point(self, point: DesignPoint) -> ExplorationRecord:
+        """Synthesize and execute one design point."""
+        synthesizer = DiacSynthesizer(
+            replace(
+                self.base_config,
+                policy=point.policy,
+                technology=point.technology,
+                criteria=point.criteria,
+                use_safe_zone=point.use_safe_zone,
+            )
+        )
+        budget = point.budget_scale * synthesizer.derive_budget_j(self.netlist)
+        synthesizer.config = replace(synthesizer.config, budget_j=budget)
+        design = synthesizer.run(self.netlist)
+        evaluation = evaluate_design(design)
+        scheme = "Optimized DIAC" if point.use_safe_zone else "DIAC"
+        result = evaluation.results[scheme]
+        return ExplorationRecord(
+            point=point,
+            pdp_js=result.pdp_js,
+            energy_j=result.total_energy_j,
+            active_time_s=result.active_time_s,
+            n_backups=result.n_backups,
+            reexec_energy_j=result.reexec_energy_j,
+            n_barriers=design.plan.n_barriers,
+        )
+
+    def sweep(
+        self,
+        policies: tuple[int, ...] = (1, 2, 3),
+        budget_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+        technologies: tuple[NvmTechnology, ...] = (MRAM,),
+        safe_zones: tuple[bool, ...] = (True, False),
+    ) -> list[ExplorationRecord]:
+        """Full-factorial sweep over the given axes."""
+        records = []
+        for policy, scale, tech, safe in itertools.product(
+            policies, budget_scales, technologies, safe_zones
+        ):
+            point = DesignPoint(
+                policy=policy,
+                budget_scale=scale,
+                technology=tech,
+                use_safe_zone=safe,
+            )
+            records.append(self.evaluate_point(point))
+        return records
+
+    def best(self, records: list[ExplorationRecord]) -> ExplorationRecord:
+        """The PDP-optimal record."""
+        if not records:
+            raise ValueError("no records to choose from")
+        return min(records, key=lambda r: r.pdp_js)

@@ -1,0 +1,49 @@
+"""Pareto-front utilities for the efficiency/resiliency trade-off.
+
+Policy 1 maximizes resiliency, Policy 2 efficiency, Policy 3 balances the
+two (paper Fig. 2 discussion).  The DSE reports the non-dominated set over
+(PDP, re-execution exposure).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> list[T]:
+    """Non-dominated subset of ``items`` under minimize-all objectives.
+
+    An item dominates another if it is no worse on every objective and
+    strictly better on at least one.
+
+    Args:
+        items: candidate points.
+        objectives: callables extracting each (minimized) objective.
+
+    Returns:
+        The non-dominated items, in their original order.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    scores = [tuple(obj(item) for obj in objectives) for item in items]
+
+    def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    front = []
+    for i, item in enumerate(items):
+        if not any(
+            dominates(scores[j], scores[i])
+            for j in range(len(items))
+            if j != i
+        ):
+            front.append(item)
+    return front

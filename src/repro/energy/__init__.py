@@ -1,0 +1,27 @@
+"""Energy substrate: storage, harvesters, traces, thresholds."""
+
+from repro.energy.capacitor import EnergyStorage, InsufficientEnergyError
+from repro.energy.harvester import (
+    HarvestSegment,
+    HarvestTrace,
+    kinetic_trace,
+    rfid_trace,
+    solar_trace,
+    steady_trace,
+)
+from repro.energy.thresholds import ThresholdSet
+from repro.energy.traces import evaluation_trace, fig4_trace
+
+__all__ = [
+    "EnergyStorage",
+    "HarvestSegment",
+    "HarvestTrace",
+    "InsufficientEnergyError",
+    "ThresholdSet",
+    "evaluation_trace",
+    "fig4_trace",
+    "kinetic_trace",
+    "rfid_trace",
+    "solar_trace",
+    "steady_trace",
+]

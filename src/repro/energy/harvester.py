@@ -1,0 +1,187 @@
+"""Energy-harvesting source models.
+
+The paper powers its node from RFID ("our research focused on designing a
+specialized architecture using RFID sources") and models intermittency as
+"a predetermined sequence of voltage levels that cyclically repeat".  A
+:class:`HarvestTrace` is exactly that: a cyclic list of
+(duration, power) segments, with helpers to integrate harvested energy over
+arbitrary windows.  Generators for RFID-, solar- and kinetic-like traces
+produce deterministic traces from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HarvestSegment:
+    """A constant-power stretch of the harvest trace."""
+
+    duration_s: float
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("segment duration must be positive")
+        if self.power_w < 0:
+            raise ValueError("harvest power cannot be negative")
+
+
+class HarvestTrace:
+    """A cyclically repeating sequence of constant-power segments."""
+
+    def __init__(self, segments: list[HarvestSegment], name: str = "trace") -> None:
+        if not segments:
+            raise ValueError("a trace needs at least one segment")
+        self.segments = list(segments)
+        self.name = name
+        self._starts: list[float] = []
+        t = 0.0
+        for seg in self.segments:
+            self._starts.append(t)
+            t += seg.duration_s
+        self.period_s = t
+
+    @property
+    def cycle_energy_j(self) -> float:
+        """Energy delivered over one full cycle."""
+        return sum(s.duration_s * s.power_w for s in self.segments)
+
+    @property
+    def mean_power_w(self) -> float:
+        """Long-run average harvest power."""
+        return self.cycle_energy_j / self.period_s
+
+    @property
+    def peak_power_w(self) -> float:
+        """The paper's V_peak analogue: the strongest segment."""
+        return max(s.power_w for s in self.segments)
+
+    def segment_at(self, t_s: float) -> tuple[HarvestSegment, float]:
+        """Segment active at absolute time ``t_s`` and time left in it."""
+        if t_s < 0:
+            raise ValueError("time must be non-negative")
+        local = math.fmod(t_s, self.period_s)
+        # Binary search over starts.
+        lo, hi = 0, len(self.segments) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._starts[mid] <= local + 1e-15:
+                lo = mid
+            else:
+                hi = mid - 1
+        seg = self.segments[lo]
+        remaining = self._starts[lo] + seg.duration_s - local
+        return seg, max(remaining, 1e-15)
+
+    def power_at(self, t_s: float) -> float:
+        """Instantaneous harvest power at ``t_s``."""
+        seg, _remaining = self.segment_at(t_s)
+        return seg.power_w
+
+    def energy_between(self, t0_s: float, t1_s: float) -> float:
+        """Harvested energy over ``[t0, t1]`` (exact piecewise integral)."""
+        if t1_s < t0_s:
+            raise ValueError("t1 must be >= t0")
+        total = 0.0
+        t = t0_s
+        while t < t1_s - 1e-15:
+            seg, remaining = self.segment_at(t)
+            dt = min(remaining, t1_s - t)
+            total += seg.power_w * dt
+            t += dt
+        return total
+
+    def scaled(self, power_factor: float = 1.0, time_factor: float = 1.0) -> "HarvestTrace":
+        """Return a copy with powers and durations scaled."""
+        return HarvestTrace(
+            [
+                HarvestSegment(s.duration_s * time_factor, s.power_w * power_factor)
+                for s in self.segments
+            ],
+            name=self.name,
+        )
+
+
+def rfid_trace(
+    reader_period_s: float = 2.0,
+    burst_power_w: float = 120e-6,
+    duty: float = 0.45,
+    jitter: float = 0.3,
+    n_periods: int = 16,
+    seed: int = 7,
+    name: str = "rfid",
+) -> HarvestTrace:
+    """An RFID-reader-like trace: powered bursts separated by dead time.
+
+    The reader energizes the tag while interrogating; between reads the
+    field collapses.  Jitter varies both burst length and amplitude so the
+    safe-zone dynamics (recover vs. decay) are exercised.
+    """
+    if not 0 < duty < 1:
+        raise ValueError("duty must be in (0, 1)")
+    rng = random.Random(seed)
+    segments: list[HarvestSegment] = []
+    for _ in range(n_periods):
+        on = reader_period_s * duty * (1.0 + jitter * (rng.random() - 0.5))
+        off = reader_period_s * (1.0 - duty) * (1.0 + jitter * (rng.random() - 0.5))
+        power = burst_power_w * (1.0 + jitter * (rng.random() - 0.5))
+        weak = burst_power_w * 0.12 * rng.random()
+        segments.append(HarvestSegment(on, power))
+        if rng.random() < 0.5:
+            segments.append(HarvestSegment(off * 0.5, weak))
+            segments.append(HarvestSegment(off * 0.5, 0.0))
+        else:
+            segments.append(HarvestSegment(off, 0.0))
+    return HarvestTrace(segments, name=name)
+
+
+def solar_trace(
+    day_period_s: float = 600.0,
+    peak_power_w: float = 200e-6,
+    n_steps: int = 24,
+    cloud_factor: float = 0.35,
+    seed: int = 11,
+    name: str = "solar",
+) -> HarvestTrace:
+    """A solar-like trace: sinusoidal envelope with random cloud dips."""
+    rng = random.Random(seed)
+    dt = day_period_s / n_steps
+    segments = []
+    for i in range(n_steps):
+        phase = math.pi * i / (n_steps - 1)
+        power = peak_power_w * max(math.sin(phase), 0.0)
+        if rng.random() < cloud_factor:
+            power *= rng.uniform(0.05, 0.4)
+        segments.append(HarvestSegment(dt, power))
+    return HarvestTrace(segments, name=name)
+
+
+def kinetic_trace(
+    step_period_s: float = 1.0,
+    impulse_power_w: float = 300e-6,
+    activity: float = 0.5,
+    n_steps: int = 40,
+    seed: int = 13,
+    name: str = "kinetic",
+) -> HarvestTrace:
+    """A kinetic/vibration trace: short random impulses, long gaps."""
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(n_steps):
+        if rng.random() < activity:
+            segments.append(
+                HarvestSegment(step_period_s * 0.25, impulse_power_w * rng.uniform(0.6, 1.4))
+            )
+            segments.append(HarvestSegment(step_period_s * 0.75, 0.0))
+        else:
+            segments.append(HarvestSegment(step_period_s, impulse_power_w * 0.02))
+    return HarvestTrace(segments, name=name)
+
+
+def steady_trace(power_w: float, name: str = "steady") -> HarvestTrace:
+    """A constant source (degenerate case; useful in tests)."""
+    return HarvestTrace([HarvestSegment(1.0, power_w)], name=name)

@@ -1,0 +1,141 @@
+"""FSM threshold sets (paper Section III-B / IV-A).
+
+"The system has four threshold voltages for each state (Th_State), e.g.
+Th_Cp, along with two more thresholds Th_SafeZone and Th_Off."  The paper's
+25 mJ system uses Off 1.5, Bk 3, Safe 5 (= Bk + 2), Se 6, Cp 8, Tr 12 mJ;
+:meth:`ThresholdSet.from_e_max` reproduces those proportions at any
+capacitor scale, which the circuit-scale Fig. 5 evaluation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import (
+    E_MAX_J,
+    SAFE_ZONE_MARGIN_J,
+    TH_BACKUP_J,
+    TH_COMPUTE_J,
+    TH_OFF_J,
+    TH_SENSE_J,
+    TH_TRANSMIT_J,
+    THRESHOLD_FRACTIONS,
+)
+
+
+@dataclass(frozen=True)
+class ThresholdSet:
+    """Energy thresholds of the intermittent-aware FSM, in joules.
+
+    Ordering invariant: ``off < backup < safe <= sense < compute <
+    transmit <= e_max``.
+
+    Attributes:
+        off_j: below this the system fully powers down (Th_Off).
+        backup_j: power-interrupt threshold — backup must run (Th_Bk).
+        safe_j: safe-zone entry (Th_SafeZone = Th_Bk + 2 mJ in the paper).
+        sense_j: minimum energy to start a sense operation (Th_Se).
+        compute_j: minimum energy to start a compute burst (Th_Cp).
+        transmit_j: minimum energy to start a transmission (Th_Tr).
+        e_max_j: storage capacity the set was derived for.
+    """
+
+    off_j: float
+    backup_j: float
+    safe_j: float
+    sense_j: float
+    compute_j: float
+    transmit_j: float
+    e_max_j: float
+
+    def __post_init__(self) -> None:
+        ordered = (
+            0.0,
+            self.off_j,
+            self.backup_j,
+            self.safe_j,
+            self.sense_j,
+            self.compute_j,
+            self.transmit_j,
+        )
+        for low, high in zip(ordered, ordered[1:]):
+            if low >= high:
+                raise ValueError(
+                    f"thresholds must be strictly increasing, got {ordered}"
+                )
+        if self.transmit_j > self.e_max_j:
+            raise ValueError("transmit threshold exceeds storage capacity")
+
+    @property
+    def safe_zone_margin_j(self) -> float:
+        """Width of the safe zone (Th_SafeZone - Th_Bk)."""
+        return self.safe_j - self.backup_j
+
+    @property
+    def backup_reserve_j(self) -> float:
+        """Energy guaranteed available for a backup (Th_Bk - Th_Off)."""
+        return self.backup_j - self.off_j
+
+    def for_state(self, state_name: str) -> float:
+        """Threshold for entering an operating state by name."""
+        table = {
+            "sense": self.sense_j,
+            "compute": self.compute_j,
+            "transmit": self.transmit_j,
+        }
+        if state_name not in table:
+            raise KeyError(f"no entry threshold for state {state_name!r}")
+        return table[state_name]
+
+    @classmethod
+    def paper_defaults(cls) -> "ThresholdSet":
+        """The literal 25 mJ system of Section IV-A."""
+        return cls(
+            off_j=TH_OFF_J,
+            backup_j=TH_BACKUP_J,
+            safe_j=TH_BACKUP_J + SAFE_ZONE_MARGIN_J,
+            sense_j=TH_SENSE_J,
+            compute_j=TH_COMPUTE_J,
+            transmit_j=TH_TRANSMIT_J,
+            e_max_j=E_MAX_J,
+        )
+
+    @classmethod
+    def from_e_max(cls, e_max_j: float) -> "ThresholdSet":
+        """Scale the paper's threshold proportions to any capacity."""
+        if e_max_j <= 0:
+            raise ValueError("e_max_j must be positive")
+        f = THRESHOLD_FRACTIONS
+        return cls(
+            off_j=f["off"] * e_max_j,
+            backup_j=f["backup"] * e_max_j,
+            safe_j=f["safe"] * e_max_j,
+            sense_j=f["sense"] * e_max_j,
+            compute_j=f["compute"] * e_max_j,
+            transmit_j=f["transmit"] * e_max_j,
+            e_max_j=e_max_j,
+        )
+
+    def scaled(self, factor: float) -> "ThresholdSet":
+        """Uniformly scale every threshold (used by DSE sweeps)."""
+        return ThresholdSet(
+            off_j=self.off_j * factor,
+            backup_j=self.backup_j * factor,
+            safe_j=self.safe_j * factor,
+            sense_j=self.sense_j * factor,
+            compute_j=self.compute_j * factor,
+            transmit_j=self.transmit_j * factor,
+            e_max_j=self.e_max_j * factor,
+        )
+
+    def with_safe_margin(self, margin_j: float) -> "ThresholdSet":
+        """Return a copy with a different safe-zone width (ablation knob)."""
+        return ThresholdSet(
+            off_j=self.off_j,
+            backup_j=self.backup_j,
+            safe_j=self.backup_j + margin_j,
+            sense_j=max(self.sense_j, self.backup_j + margin_j + 1e-18),
+            compute_j=self.compute_j,
+            transmit_j=self.transmit_j,
+            e_max_j=self.e_max_j,
+        )

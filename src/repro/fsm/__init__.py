@@ -1,0 +1,35 @@
+"""The intermittent-aware FSM runtime (paper Fig. 3, Algorithm 1)."""
+
+from repro.fsm.controller import (
+    FsmEvent,
+    FsmResult,
+    IntermittentController,
+    OperationCosts,
+)
+from repro.fsm.interrupts import PowerInterrupt, TimerInterrupt
+from repro.fsm.node import IntermittentSensorNode, SensorNodeConfig
+from repro.fsm.scheduler import (
+    AdaptiveScheduler,
+    ChargingRateEstimator,
+    DutyCycleBudget,
+    plan_intervals,
+)
+from repro.fsm.states import REG_FLAG_WIDTH, NodeState, RegFlag
+
+__all__ = [
+    "AdaptiveScheduler",
+    "ChargingRateEstimator",
+    "DutyCycleBudget",
+    "FsmEvent",
+    "FsmResult",
+    "IntermittentController",
+    "IntermittentSensorNode",
+    "NodeState",
+    "OperationCosts",
+    "PowerInterrupt",
+    "REG_FLAG_WIDTH",
+    "RegFlag",
+    "SensorNodeConfig",
+    "TimerInterrupt",
+    "plan_intervals",
+]

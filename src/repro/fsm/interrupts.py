@@ -1,0 +1,77 @@
+"""Interrupt sources of Algorithm 1.
+
+Two interrupt routines exist (lines 34 and 38): the **timer** interrupt
+fires at the sampling interval and re-arms a sense when the node is idle;
+the **power** interrupt fires when the stored energy sinks below the backup
+threshold and forces the backup state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimerInterrupt:
+    """Periodic sampling-rate interrupt (Algorithm 1, line 34).
+
+    Attributes:
+        interval_s: nominal firing period ("the maximum sampling rate of
+            the system ... this frequency can be reduced depending on the
+            system's power").
+    """
+
+    interval_s: float
+    _next_fire_s: float = field(default=0.0, repr=False)
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self._next_fire_s = self.interval_s
+
+    def poll(self, t_s: float) -> bool:
+        """True exactly once per elapsed interval."""
+        if t_s + 1e-12 >= self._next_fire_s:
+            while self._next_fire_s <= t_s + 1e-12:
+                self._next_fire_s += self.interval_s
+            self.fired += 1
+            return True
+        return False
+
+    def slow_down(self, factor: float) -> None:
+        """Reduce the sampling rate (power-aware adaptation)."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        self.interval_s *= factor
+
+
+@dataclass
+class PowerInterrupt:
+    """Backup-threshold interrupt (Algorithm 1, line 38).
+
+    Fires on the *downward crossing* of the threshold: it re-arms only
+    after the energy recovers a hysteresis margin above the threshold, so
+    a system flickering around Th_Bk does not back up repeatedly.
+    """
+
+    threshold_j: float
+    rearm_fraction: float = 1.05
+    _armed: bool = field(default=True, repr=False)
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold_j <= 0:
+            raise ValueError("threshold_j must be positive")
+        if self.rearm_fraction < 1.0:
+            raise ValueError("rearm_fraction must be >= 1")
+
+    def poll(self, energy_j: float) -> bool:
+        """True on an armed downward crossing of the threshold."""
+        if self._armed and energy_j < self.threshold_j:
+            self._armed = False
+            self.fired += 1
+            return True
+        if not self._armed and energy_j >= self.threshold_j * self.rearm_fraction:
+            self._armed = True
+        return False

@@ -1,0 +1,100 @@
+"""The intermittent-aware sensor node (paper Fig. 3(b)).
+
+Composes the pieces of the block diagram: an energy-harvesting front end
+(trace), a power-management unit (storage + thresholds + power interrupt),
+a processing unit (optionally a DIAC-synthesized design standing in for the
+accelerator/microprocessor), and the task-scheduler FSM of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import INITIAL_ENERGY_FRACTION, SENSE_INTERVAL_S
+from repro.core.diac import DiacDesign
+from repro.energy.capacitor import EnergyStorage
+from repro.energy.harvester import HarvestTrace
+from repro.energy.thresholds import ThresholdSet
+from repro.fsm.controller import (
+    FsmResult,
+    IntermittentController,
+    OperationCosts,
+)
+from repro.tech.nvm import MRAM, NvmTechnology
+
+
+@dataclass(frozen=True)
+class SensorNodeConfig:
+    """Configuration of an intermittent-aware sensor node.
+
+    Attributes:
+        thresholds: FSM threshold set (paper defaults when omitted).
+        costs: atomic-operation costs (paper's 2/4/9 mJ when omitted).
+        technology: NVM technology of the backup path.
+        state_bits: register-file bits saved by a backup.
+        sense_interval_s: sampling period of the timer interrupt.
+        safe_zone_enabled: optimized (True) vs plain (False) DIAC runtime.
+        initial_energy_fraction: starting charge as a fraction of E_MAX.
+        seed: jitter seed.
+        dt_s: simulation step.
+    """
+
+    thresholds: ThresholdSet | None = None
+    costs: OperationCosts | None = None
+    technology: NvmTechnology = MRAM
+    state_bits: int = 64
+    sense_interval_s: float = SENSE_INTERVAL_S
+    safe_zone_enabled: bool = True
+    initial_energy_fraction: float = INITIAL_ENERGY_FRACTION
+    seed: int = 0
+    dt_s: float = 0.05
+
+
+class IntermittentSensorNode:
+    """A batteryless sensor node driven by a harvest trace.
+
+    Args:
+        trace: the energy source.
+        config: node configuration.
+        design: optional DIAC design; when given, the compute operation's
+            register width is taken from the design's commit schedule
+            ("the backup unit stores all the necessary intermediate
+            registers based on the register flag").
+    """
+
+    def __init__(
+        self,
+        trace: HarvestTrace,
+        config: SensorNodeConfig | None = None,
+        design: DiacDesign | None = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config or SensorNodeConfig()
+        self.design = design
+        thresholds = self.config.thresholds or ThresholdSet.paper_defaults()
+        self.thresholds = thresholds
+        state_bits = self.config.state_bits
+        technology = self.config.technology
+        if design is not None:
+            state_bits = max(design.plan.max_commit_bits, state_bits)
+            technology = design.config.technology
+        self.storage = EnergyStorage(
+            e_max_j=thresholds.e_max_j,
+            energy_j=self.config.initial_energy_fraction * thresholds.e_max_j,
+        )
+        self.controller = IntermittentController(
+            storage=self.storage,
+            thresholds=thresholds,
+            trace=trace,
+            costs=self.config.costs,
+            technology=technology,
+            state_bits=state_bits,
+            sense_interval_s=self.config.sense_interval_s,
+            safe_zone_enabled=self.config.safe_zone_enabled,
+            seed=self.config.seed,
+            dt_s=self.config.dt_s,
+        )
+
+    def run(self, duration_s: float, sample_every: int = 4) -> FsmResult:
+        """Simulate the node for ``duration_s`` seconds."""
+        return self.controller.run(duration_s, sample_every=sample_every)

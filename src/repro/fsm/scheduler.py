@@ -1,0 +1,150 @@
+"""Power-aware task scheduling (the "Task Scheduler" of Fig. 3(b)).
+
+Algorithm 1 ties the sampling interval to the harvest conditions: "Sleep
+(interval) — interval is determined by the average charging rate" and
+"this frequency can be reduced depending on the system's power".  This
+module provides that adaptation: an EWMA estimator of the charging rate
+and a scheduler that picks the sampling interval so the expected energy
+per duty cycle is harvestable within it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calibration import (
+    E_COMPUTE_J,
+    E_SENSE_J,
+    E_TRANSMIT_J,
+    SLEEP_LEAKAGE_W,
+)
+
+
+@dataclass
+class ChargingRateEstimator:
+    """Exponentially-weighted moving average of the harvest power.
+
+    Attributes:
+        alpha: smoothing factor in (0, 1]; higher reacts faster.
+    """
+
+    alpha: float = 0.2
+    _estimate_w: float = field(default=0.0, repr=False)
+    _initialized: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def update(self, harvested_j: float, dt_s: float) -> float:
+        """Fold one observation window into the estimate; returns it."""
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        if harvested_j < 0:
+            raise ValueError("harvested_j cannot be negative")
+        sample = harvested_j / dt_s
+        if not self._initialized:
+            self._estimate_w = sample
+            self._initialized = True
+        else:
+            self._estimate_w += self.alpha * (sample - self._estimate_w)
+        return self._estimate_w
+
+    @property
+    def estimate_w(self) -> float:
+        """Current charging-rate estimate, watts."""
+        return self._estimate_w
+
+
+@dataclass(frozen=True)
+class DutyCycleBudget:
+    """Energy demand of one full sense/compute/transmit round."""
+
+    sense_j: float = E_SENSE_J
+    compute_j: float = E_COMPUTE_J
+    transmit_j: float = E_TRANSMIT_J
+    sleep_power_w: float = SLEEP_LEAKAGE_W
+
+    @property
+    def round_energy_j(self) -> float:
+        """Energy of one full operation round (excluding sleep)."""
+        return self.sense_j + self.compute_j + self.transmit_j
+
+
+class AdaptiveScheduler:
+    """Chooses the sampling interval from the estimated charging rate.
+
+    The sustainable interval satisfies::
+
+        interval * (P_harvest - P_sleep) >= round_energy * margin
+
+    i.e. a full round's energy must be harvestable (net of sleep leakage)
+    within one interval, with a safety margin.
+
+    Args:
+        budget: the duty-cycle energy demand.
+        min_interval_s: fastest sampling the application allows.
+        max_interval_s: slowest sampling before data loses value.
+        margin: over-provisioning factor (>= 1).
+    """
+
+    def __init__(
+        self,
+        budget: DutyCycleBudget | None = None,
+        min_interval_s: float = 10.0,
+        max_interval_s: float = 3600.0,
+        margin: float = 1.2,
+    ) -> None:
+        if min_interval_s <= 0 or max_interval_s < min_interval_s:
+            raise ValueError("need 0 < min_interval_s <= max_interval_s")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1")
+        self.budget = budget or DutyCycleBudget()
+        self.min_interval_s = min_interval_s
+        self.max_interval_s = max_interval_s
+        self.margin = margin
+
+    def interval_for(self, charging_rate_w: float) -> float:
+        """Sustainable sampling interval for a charging-rate estimate.
+
+        Returns ``max_interval_s`` when the net harvest cannot sustain any
+        duty cycle (the node samples as rarely as the application allows
+        and relies on the FSM's backup path).
+        """
+        net = charging_rate_w - self.budget.sleep_power_w
+        if net <= 0:
+            return self.max_interval_s
+        needed = self.budget.round_energy_j * self.margin / net
+        return min(self.max_interval_s, max(self.min_interval_s, needed))
+
+    def schedule(
+        self,
+        estimator: ChargingRateEstimator,
+        harvested_j: float,
+        dt_s: float,
+    ) -> float:
+        """Update the estimator with one window and return the interval."""
+        return self.interval_for(estimator.update(harvested_j, dt_s))
+
+
+def plan_intervals(
+    harvest_powers_w: list[float],
+    window_s: float = 60.0,
+    scheduler: AdaptiveScheduler | None = None,
+) -> list[float]:
+    """Offline helper: intervals a node would pick along a power profile.
+
+    Args:
+        harvest_powers_w: per-window average harvest power samples.
+        window_s: observation window length.
+        scheduler: scheduler to use (defaults to paper-budget settings).
+
+    Returns:
+        One chosen interval per input window.
+    """
+    scheduler = scheduler or AdaptiveScheduler()
+    estimator = ChargingRateEstimator()
+    return [
+        scheduler.schedule(estimator, power * window_s, window_s)
+        for power in harvest_powers_w
+    ]

@@ -1,0 +1,52 @@
+"""FSM states and the Reg_Flag register (paper Fig. 3(a), Algorithm 1)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeState(enum.Enum):
+    """Operating states of the intermittent-aware node.
+
+    ``States = [Sp, Se, Cp, Tr, Bk]`` (Algorithm 1, line 1) plus the
+    implicit powered-off condition below Th_Off.
+    """
+
+    SLEEP = "Sp"
+    SENSE = "Se"
+    COMPUTE = "Cp"
+    TRANSMIT = "Tr"
+    BACKUP = "Bk"
+    OFF = "Off"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class RegFlag(enum.IntEnum):
+    """The 3-bit next-operation register of Fig. 3(a).
+
+    ``R0 R1 R2`` one-hot encoding: 0b100 requests Sense, 0b010 requests
+    Compute, 0b001 requests Transmit; 0b000 halts progression until the
+    timer interrupt re-arms a sense.
+    """
+
+    HALT = 0b000
+    SENSE = 0b100
+    COMPUTE = 0b010
+    TRANSMIT = 0b001
+
+    @property
+    def requested_state(self) -> NodeState:
+        """The operating state this flag requests from Sleep."""
+        mapping = {
+            RegFlag.SENSE: NodeState.SENSE,
+            RegFlag.COMPUTE: NodeState.COMPUTE,
+            RegFlag.TRANSMIT: NodeState.TRANSMIT,
+            RegFlag.HALT: NodeState.SLEEP,
+        }
+        return mapping[self]
+
+
+#: Number of bits in the Reg_Flag register (backed up with every commit).
+REG_FLAG_WIDTH = 3

@@ -1,0 +1,27 @@
+"""PDP metrics, aggregation, and report formatting."""
+
+from repro.metrics.pdp import (
+    PAPER_CLAIMS,
+    improvement_pct,
+    mean,
+    normalized_table,
+    paper_vs_measured,
+    suite_improvements,
+)
+from repro.metrics.report import (
+    format_normalized_pdp,
+    format_paper_vs_measured,
+    format_table,
+)
+
+__all__ = [
+    "PAPER_CLAIMS",
+    "format_normalized_pdp",
+    "format_paper_vs_measured",
+    "format_table",
+    "improvement_pct",
+    "mean",
+    "normalized_table",
+    "paper_vs_measured",
+    "suite_improvements",
+]

@@ -1,0 +1,85 @@
+"""PDP aggregation — the numbers behind Fig. 5 and the in-text averages.
+
+The paper reports, per suite, the average PDP improvement of DIAC over
+NV-based and NV-clustering (36/41/34 % and 25/33/28 % for
+ISCAS-89/ITC-99/MCNC), and of optimized DIAC over all three for MCNC
+(61/56/38 %).  This module computes those aggregates from a list of
+:class:`~repro.evaluation.CircuitEvaluation` results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.evaluation import CircuitEvaluation
+
+#: The in-text improvement claims of Section IV-B, used by the
+#: reproduction report to show paper-vs-measured side by side.
+PAPER_CLAIMS = {
+    ("DIAC", "NV-based"): {"iscas89": 36.0, "itc99": 41.0, "mcnc": 34.0},
+    ("DIAC", "NV-clustering"): {"iscas89": 25.0, "itc99": 33.0, "mcnc": 28.0},
+    ("Optimized DIAC", "NV-based"): {"mcnc": 61.0},
+    ("Optimized DIAC", "NV-clustering"): {"mcnc": 56.0},
+    ("Optimized DIAC", "DIAC"): {"mcnc": 38.0},
+}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def improvement_pct(
+    evaluations: Iterable[CircuitEvaluation],
+    scheme: str,
+    versus: str,
+) -> float:
+    """Average PDP improvement of ``scheme`` over ``versus``, percent."""
+    return mean([e.improvement_pct(scheme, versus) for e in evaluations])
+
+
+def suite_improvements(
+    evaluations: Iterable[CircuitEvaluation],
+    scheme: str,
+    versus: str,
+) -> dict[str, float]:
+    """Per-suite average improvement of ``scheme`` over ``versus``."""
+    by_suite: dict[str, list[CircuitEvaluation]] = {}
+    for ev in evaluations:
+        by_suite.setdefault(ev.suite, []).append(ev)
+    return {
+        suite: improvement_pct(members, scheme, versus)
+        for suite, members in sorted(by_suite.items())
+    }
+
+
+def normalized_table(
+    evaluations: Iterable[CircuitEvaluation],
+    baseline: str = "NV-based",
+) -> dict[str, dict[str, float]]:
+    """Circuit -> scheme -> normalized PDP (the Fig. 5 data)."""
+    return {ev.name: ev.normalized_pdp(baseline) for ev in evaluations}
+
+
+def paper_vs_measured(
+    evaluations: list[CircuitEvaluation],
+) -> list[dict[str, object]]:
+    """Rows comparing every in-text claim against the measured value."""
+    rows: list[dict[str, object]] = []
+    for (scheme, versus), per_suite in PAPER_CLAIMS.items():
+        measured = suite_improvements(evaluations, scheme, versus)
+        for suite, claim in per_suite.items():
+            if suite not in measured:
+                continue
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "versus": versus,
+                    "suite": suite,
+                    "paper_pct": claim,
+                    "measured_pct": round(measured[suite], 1),
+                }
+            )
+    return rows

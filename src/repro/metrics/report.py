@@ -1,0 +1,64 @@
+"""Plain-text tables for benches, examples and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: cell values (stringified with ``format_cell``).
+        title: optional line printed above the table.
+
+    Returns:
+        The rendered table text.
+    """
+    def format_cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_normalized_pdp(
+    table: dict[str, dict[str, float]],
+    scheme_order: Sequence[str],
+    title: str = "Normalized PDP (lower is better, NV-based = 1.0)",
+) -> str:
+    """Render the Fig. 5 normalized-PDP table."""
+    headers = ["circuit", *scheme_order]
+    rows = [
+        [name, *[values[s] for s in scheme_order]]
+        for name, values in table.items()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_paper_vs_measured(rows: list[dict[str, object]]) -> str:
+    """Render the in-text-claims comparison table."""
+    headers = ["scheme", "versus", "suite", "paper %", "measured %"]
+    body = [
+        [r["scheme"], r["versus"], r["suite"], r["paper_pct"], r["measured_pct"]]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Paper vs measured PDP improvements")

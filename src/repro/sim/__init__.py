@@ -1,0 +1,21 @@
+"""Simulation engines: logic, intermittent execution."""
+
+from repro.sim.intermittent import (
+    ExecutionResult,
+    IntermittentExecutor,
+    SchemeProfile,
+    TraceTooWeakError,
+)
+from repro.sim.logic_sim import LogicSimulator, SimulationError
+from repro.sim.power_sim import EnergyBreakdown, breakdown
+
+__all__ = [
+    "EnergyBreakdown",
+    "ExecutionResult",
+    "IntermittentExecutor",
+    "LogicSimulator",
+    "SchemeProfile",
+    "SimulationError",
+    "TraceTooWeakError",
+    "breakdown",
+]

@@ -1,0 +1,128 @@
+"""Event-free cycle-accurate logic simulator.
+
+Evaluates a netlist one clock cycle at a time: combinational gates settle
+in topological order, then all flip-flops capture their data inputs
+simultaneously (two-phase semantics, as real synchronous hardware does).
+Used for functional validation of DIAC's transformations and by the
+intermittent executor to replay partitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuits.gates import GateType, evaluate_gate
+from repro.circuits.netlist import Gate, Netlist
+
+
+class SimulationError(RuntimeError):
+    """Raised when a simulation is driven with inconsistent stimuli."""
+
+
+class LogicSimulator:
+    """Cycle-level simulator for a :class:`Netlist`.
+
+    Attributes:
+        netlist: the circuit being simulated.
+        state: current flip-flop contents, keyed by DFF output net.
+    """
+
+    def __init__(self, netlist: Netlist, initial_state: int = 0) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self._order: list[Gate] = [
+            g for g in netlist.topological_order() if g.is_combinational
+        ]
+        self._ffs: list[Gate] = netlist.flip_flops
+        self._initial = initial_state
+        self.state: dict[str, int] = {
+            ff.name: initial_state for ff in self._ffs
+        }
+        self._toggles = 0
+        self._cycles = 0
+        self._last_values: dict[str, int] = {}
+
+    # -- control ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset flip-flops to the initial state and clear statistics."""
+        self.state = {ff.name: self._initial for ff in self._ffs}
+        self._toggles = 0
+        self._cycles = 0
+        self._last_values = {}
+
+    def load_state(self, snapshot: Mapping[str, int]) -> None:
+        """Restore flip-flop contents from ``snapshot`` (a backup image)."""
+        for net in self.state:
+            if net in snapshot:
+                self.state[net] = snapshot[net]
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the current flip-flop contents (what a backup saves)."""
+        return dict(self.state)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Settle combinational logic for the current state; no clock edge.
+
+        Args:
+            inputs: value for every primary input.
+
+        Returns:
+            Values of every net in the design.
+
+        Raises:
+            SimulationError: if a primary input is missing.
+        """
+        values: dict[str, int] = {}
+        for gate in self.netlist.gates.values():
+            if gate.gtype is GateType.INPUT:
+                if gate.name not in inputs:
+                    raise SimulationError(f"missing input {gate.name!r}")
+                values[gate.name] = int(bool(inputs[gate.name]))
+            elif gate.gtype is GateType.CONST0:
+                values[gate.name] = 0
+            elif gate.gtype is GateType.CONST1:
+                values[gate.name] = 1
+            elif gate.is_sequential:
+                values[gate.name] = self.state[gate.name]
+        for gate in self._order:
+            values[gate.name] = evaluate_gate(
+                gate.gtype, [values[src] for src in gate.inputs]
+            )
+        return values
+
+    def step(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Run one full clock cycle; returns primary output values."""
+        values = self.evaluate(inputs)
+        if self._last_values:
+            self._toggles += sum(
+                1
+                for net, val in values.items()
+                if self._last_values.get(net) != val
+            )
+        self._last_values = values
+        for ff in self._ffs:
+            self.state[ff.name] = values[ff.inputs[0]]
+        self._cycles += 1
+        return {net: values[net] for net in self.netlist.outputs}
+
+    def run(
+        self, vectors: list[Mapping[str, int]]
+    ) -> list[dict[str, int]]:
+        """Apply a sequence of input vectors; returns per-cycle outputs."""
+        return [self.step(vector) for vector in vectors]
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Number of clock cycles simulated since the last reset."""
+        return self._cycles
+
+    def activity_factor(self) -> float:
+        """Observed average switching activity per net per cycle."""
+        if self._cycles <= 1 or not self.netlist.gates:
+            return 0.0
+        return self._toggles / ((self._cycles - 1) * len(self.netlist.gates))

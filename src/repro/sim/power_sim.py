@@ -1,0 +1,121 @@
+"""Per-state energy accounting over FSM runs.
+
+Breaks an :class:`~repro.fsm.controller.FsmResult` down into where the
+energy went — operations, backup/restore traffic, sleep leakage — the
+kind of budget table the paper's "life cycle energy optimization" framing
+asks for.  Works from the result's counters plus the controller's cost
+models, so it composes with any trace or threshold configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.tech.cacti import backup_array_for
+from repro.tech.nvm import MRAM, NvmTechnology
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (fsm -> core -> tech)
+    from repro.fsm.controller import FsmResult, OperationCosts
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Where one FSM run's energy went, in joules.
+
+    All figures are *nominal* (the ±10 % per-operation jitter averages
+    out): operations use their configured costs, NVM traffic uses the
+    CACTI-modelled array, sleep uses the leakage power times the time the
+    run spent asleep.
+    """
+
+    sense_j: float
+    compute_j: float
+    transmit_j: float
+    backup_j: float
+    restore_j: float
+    sleep_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total accounted energy."""
+        return (
+            self.sense_j
+            + self.compute_j
+            + self.transmit_j
+            + self.backup_j
+            + self.restore_j
+            + self.sleep_j
+        )
+
+    @property
+    def nvm_fraction(self) -> float:
+        """Share of energy spent on NVM traffic (the DIAC target metric)."""
+        total = self.total_j
+        if total <= 0:
+            return 0.0
+        return (self.backup_j + self.restore_j) / total
+
+    def as_table_rows(self) -> list[list[object]]:
+        """Rows for :func:`repro.metrics.report.format_table`."""
+        total = self.total_j or 1.0
+        rows = []
+        for label, value in (
+            ("sense", self.sense_j),
+            ("compute", self.compute_j),
+            ("transmit", self.transmit_j),
+            ("backup (NVM writes)", self.backup_j),
+            ("restore (NVM reads)", self.restore_j),
+            ("sleep leakage", self.sleep_j),
+        ):
+            rows.append([label, f"{value * 1e3:.3f} mJ", f"{100 * value / total:.1f} %"])
+        return rows
+
+
+def breakdown(
+    result: "FsmResult",
+    costs: "OperationCosts | None" = None,
+    technology: NvmTechnology = MRAM,
+    state_bits: int = 64,
+    sleep_leakage_w: float | None = None,
+) -> EnergyBreakdown:
+    """Account one FSM run's energy by category.
+
+    Args:
+        result: the controller's output.
+        costs: operation costs (paper defaults when omitted).
+        technology: NVM used by the backup path.
+        state_bits: bits per backup/restore image.
+        sleep_leakage_w: standby power; when given, sleep energy is
+            estimated from the time the timeline spent in the Sleep state.
+
+    Returns:
+        An :class:`EnergyBreakdown`.
+    """
+    from repro.fsm.controller import OperationCosts
+
+    costs = costs or OperationCosts()
+    array = backup_array_for(state_bits, technology)
+    write_j = array.write_cost(state_bits).energy_j
+    read_j = array.read_cost(state_bits).energy_j
+
+    sleep_j = 0.0
+    if sleep_leakage_w is not None and len(result.timeline) >= 2:
+        from repro.fsm.states import NodeState
+
+        sleep_time = 0.0
+        for (t0, _e0, s0), (t1, _e1, _s1) in zip(
+            result.timeline, result.timeline[1:]
+        ):
+            if s0 is NodeState.SLEEP:
+                sleep_time += t1 - t0
+        sleep_j = sleep_time * sleep_leakage_w
+
+    return EnergyBreakdown(
+        sense_j=result.count("senses") * costs.sense_j,
+        compute_j=result.count("computes") * costs.compute_j,
+        transmit_j=result.count("transmits") * costs.transmit_j,
+        backup_j=result.count("backups") * write_j,
+        restore_j=result.count("restores") * read_j,
+        sleep_j=sleep_j,
+    )

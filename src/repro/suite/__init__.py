@@ -1,0 +1,19 @@
+"""Benchmark suite registry (ISCAS-89 / ITC-99 / MCNC roster of Fig. 5)."""
+
+from repro.suite.registry import (
+    BY_NAME,
+    ROSTER,
+    BenchmarkInfo,
+    load_circuit,
+    small_roster,
+    suite_members,
+)
+
+__all__ = [
+    "BY_NAME",
+    "BenchmarkInfo",
+    "ROSTER",
+    "load_circuit",
+    "small_roster",
+    "suite_members",
+]

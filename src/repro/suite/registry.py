@@ -1,0 +1,119 @@
+"""Benchmark circuit registry: ISCAS-89, ITC-99 and MCNC rosters.
+
+Gate counts and function classes come from the paper's Fig. 5 caption.
+``s27`` is the genuine published netlist; every other circuit is generated
+deterministically (seed = name) to match its published combinational gate
+count, its function class, and its suite's sequential character.  Genuine
+``.bench``/BLIF distributions can be dropped in via
+:func:`repro.circuits.load_bench` / :func:`repro.circuits.load_blif` and
+evaluated with the same harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import SUITE_FF_FRACTION
+from repro.circuits.bench_parser import parse_bench
+from repro.circuits.data_s27 import S27_BENCH
+from repro.circuits.generators import CircuitSpec, generate_circuit
+from repro.circuits.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """Roster entry for one benchmark circuit.
+
+    Attributes:
+        name: circuit name (conventional suite member).
+        suite: ``iscas89``, ``itc99`` or ``mcnc``.
+        n_gates: combinational gate count from the paper's Fig. 5 caption.
+        function: the paper's function label for the circuit.
+        style: generator style matching the function class.
+    """
+
+    name: str
+    suite: str
+    n_gates: int
+    function: str
+    style: str
+
+
+#: The 24 circuits of Fig. 5 (12 ISCAS-89, 8 ITC-99, 4 MCNC).
+ROSTER: tuple[BenchmarkInfo, ...] = (
+    # ISCAS-89.
+    BenchmarkInfo("s27", "iscas89", 10, "Logic", "logic"),
+    BenchmarkInfo("s298", "iscas89", 119, "PLD", "pld"),
+    BenchmarkInfo("s349", "iscas89", 161, "4-bit Multiplier", "datapath"),
+    BenchmarkInfo("s382", "iscas89", 164, "TLC", "fsm"),
+    BenchmarkInfo("s420", "iscas89", 218, "Fractional Multiplier", "datapath"),
+    BenchmarkInfo("s526", "iscas89", 193, "PLD", "pld"),
+    BenchmarkInfo("s820", "iscas89", 289, "Fractional Multiplier", "datapath"),
+    BenchmarkInfo("s838", "iscas89", 446, "Logic", "logic"),
+    BenchmarkInfo("s1196", "iscas89", 529, "Logic", "logic"),
+    BenchmarkInfo("s1423", "iscas89", 657, "Logic", "logic"),
+    BenchmarkInfo("s15850", "iscas89", 9772, "Logic", "logic"),
+    BenchmarkInfo("s38584", "iscas89", 19253, "Logic", "logic"),
+    # ITC-99.
+    BenchmarkInfo("b02", "itc99", 22, "BCD FSM", "fsm"),
+    BenchmarkInfo("b05", "itc99", 861, "Elaborate CM", "fsm"),
+    BenchmarkInfo("b09", "itc99", 129, "S-to-S Converter", "fsm"),
+    BenchmarkInfo("b10", "itc99", 155, "Voting System", "fsm"),
+    BenchmarkInfo("b11", "itc99", 437, "Scramble string", "fsm"),
+    BenchmarkInfo("b12", "itc99", 904, "Guess a sequence", "fsm"),
+    BenchmarkInfo("b13", "itc99", 266, "I/F to sensor", "fsm"),
+    BenchmarkInfo("b14", "itc99", 4444, "Viper processor", "logic"),
+    # MCNC.
+    BenchmarkInfo("des", "mcnc", 2383, "Key Encryption", "pld"),
+    BenchmarkInfo("i10", "mcnc", 5763, "Bus Interface", "pld"),
+    BenchmarkInfo("seq", "mcnc", 744, "Encryption Circuit", "pld"),
+    BenchmarkInfo("b9ctrl", "mcnc", 490, "Bus Controller", "pld"),
+)
+
+#: Name -> roster entry.
+BY_NAME: dict[str, BenchmarkInfo] = {b.name: b for b in ROSTER}
+
+
+def suite_members(suite: str) -> list[BenchmarkInfo]:
+    """Roster entries of one suite, in Fig. 5 order.
+
+    Raises:
+        KeyError: for an unknown suite name.
+    """
+    members = [b for b in ROSTER if b.suite == suite]
+    if not members:
+        raise KeyError(
+            f"unknown suite {suite!r}; expected one of "
+            f"{sorted({b.suite for b in ROSTER})}"
+        )
+    return members
+
+
+def load_circuit(name: str) -> Netlist:
+    """Materialize a roster circuit by name.
+
+    ``s27`` parses the genuine ISCAS-89 netlist; all others are generated
+    deterministically to the published gate count.
+
+    Raises:
+        KeyError: for names not on the roster.
+    """
+    if name not in BY_NAME:
+        raise KeyError(
+            f"unknown benchmark {name!r}; roster: {sorted(BY_NAME)}"
+        )
+    info = BY_NAME[name]
+    if name == "s27":
+        return parse_bench(S27_BENCH, name="s27")
+    spec = CircuitSpec(
+        name=info.name,
+        n_gates=info.n_gates,
+        ff_fraction=SUITE_FF_FRACTION[info.suite],
+        style=info.style,
+    )
+    return generate_circuit(spec)
+
+
+def small_roster(max_gates: int = 1000) -> list[BenchmarkInfo]:
+    """Roster members at or below ``max_gates`` (fast test subsets)."""
+    return [b for b in ROSTER if b.n_gates <= max_gates]

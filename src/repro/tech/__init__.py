@@ -1,0 +1,46 @@
+"""Technology substrate: 45 nm cell library, NVM models, synthesis, CACTI."""
+
+from repro.tech.cacti import (
+    AccessCost,
+    ArrayGeometry,
+    MemoryArrayModel,
+    backup_array_for,
+)
+from repro.tech.endurance import (
+    LifetimeEstimate,
+    estimate_lifetime,
+    lifetime_gain,
+)
+from repro.tech.library import DEFAULT_LIBRARY, CellTiming, StandardCellLibrary
+from repro.tech.nvm import (
+    FERAM,
+    MRAM,
+    PCM,
+    RERAM,
+    TECHNOLOGIES,
+    NvmTechnology,
+    get_technology,
+)
+from repro.tech.synthesis import SynthesisReport, synthesize
+
+__all__ = [
+    "AccessCost",
+    "ArrayGeometry",
+    "CellTiming",
+    "DEFAULT_LIBRARY",
+    "FERAM",
+    "LifetimeEstimate",
+    "MRAM",
+    "MemoryArrayModel",
+    "NvmTechnology",
+    "estimate_lifetime",
+    "lifetime_gain",
+    "PCM",
+    "RERAM",
+    "StandardCellLibrary",
+    "SynthesisReport",
+    "TECHNOLOGIES",
+    "backup_array_for",
+    "get_technology",
+    "synthesize",
+]

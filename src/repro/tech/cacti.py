@@ -1,0 +1,171 @@
+"""Analytic memory-array cost model ("extensively modified CACTI").
+
+The paper integrates circuit-level results into a modified CACTI to cost
+the backup NVM arrays and their periphery at the architecture level.  This
+module reproduces the behaviour DIAC needs from that flow: given an array
+geometry and an NVM technology, estimate the energy and latency of reading
+or writing a burst of bits, including decoder / wordline / sense-amp
+periphery that scales with the array dimensions.
+
+The periphery model follows CACTI's first-order structure:
+
+* decoder energy grows with ``log2(rows)`` (predecode + final stage),
+* wordline/bitline energy grows with the row width (``sqrt(capacity)``
+  for square arrays),
+* sense amplifiers cost a fixed energy per read column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.calibration import (
+    BACKUP_CONTROLLER_E_J,
+    BACKUP_CONTROLLER_T_S,
+    NVM_BUS_WIDTH_BITS,
+)
+from repro.tech.nvm import MRAM, NvmTechnology
+
+#: Energy of one decoder stage transition at 45 nm, joules.
+_DECODER_STAGE_E_J = 8e-15
+
+#: Wordline + bitline drive energy per crossed column, joules.
+_LINE_E_PER_COLUMN_J = 1.5e-15
+
+#: Sense-amplifier energy per read bit, joules.
+_SENSE_AMP_E_J = 4e-15
+
+#: Row-decoder latency per address bit, seconds.
+_DECODER_T_PER_BIT_S = 40e-12
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Shape of a backup array.
+
+    Attributes:
+        capacity_bits: total storage capacity.
+        width_bits: bits accessed per cycle (the data bus width).
+    """
+
+    capacity_bits: int
+    width_bits: int = NVM_BUS_WIDTH_BITS
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits < 1:
+            raise ValueError("capacity_bits must be >= 1")
+        if self.width_bits < 1:
+            raise ValueError("width_bits must be >= 1")
+
+    @property
+    def rows(self) -> int:
+        """Number of rows (at least 1)."""
+        return max(1, math.ceil(self.capacity_bits / self.width_bits))
+
+    @property
+    def address_bits(self) -> int:
+        """Row-address width."""
+        return max(1, math.ceil(math.log2(self.rows))) if self.rows > 1 else 1
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Energy and latency of one burst access."""
+
+    energy_j: float
+    latency_s: float
+
+    def __add__(self, other: "AccessCost") -> "AccessCost":
+        return AccessCost(
+            energy_j=self.energy_j + other.energy_j,
+            latency_s=self.latency_s + other.latency_s,
+        )
+
+
+class MemoryArrayModel:
+    """CACTI-style cost model for one NVM backup array.
+
+    Args:
+        geometry: array shape.
+        technology: per-bit NVM characteristics (defaults to MRAM, the
+            paper's choice).
+    """
+
+    def __init__(
+        self,
+        geometry: ArrayGeometry,
+        technology: NvmTechnology = MRAM,
+    ) -> None:
+        self.geometry = geometry
+        self.technology = technology
+
+    def _periphery_energy_j(self, columns: int) -> float:
+        """Decoder + line energy for one row access touching ``columns``."""
+        g = self.geometry
+        decode = _DECODER_STAGE_E_J * g.address_bits
+        lines = _LINE_E_PER_COLUMN_J * columns
+        return decode + lines
+
+    def _row_accesses(self, n_bits: int) -> int:
+        """Number of row accesses needed to move ``n_bits``."""
+        return max(1, math.ceil(n_bits / self.geometry.width_bits))
+
+    def write_cost(self, n_bits: int) -> AccessCost:
+        """Cost of writing ``n_bits`` (a backup commit).
+
+        Raises:
+            ValueError: if ``n_bits`` exceeds the array capacity.
+        """
+        self._check(n_bits)
+        tech = self.technology
+        rows = self._row_accesses(n_bits)
+        energy = (
+            n_bits * tech.write_energy_j
+            + rows * self._periphery_energy_j(self.geometry.width_bits)
+            + BACKUP_CONTROLLER_E_J
+        )
+        latency = (
+            rows * (tech.write_latency_s + _DECODER_T_PER_BIT_S * self.geometry.address_bits)
+            + BACKUP_CONTROLLER_T_S
+        )
+        return AccessCost(energy_j=energy, latency_s=latency)
+
+    def read_cost(self, n_bits: int) -> AccessCost:
+        """Cost of reading ``n_bits`` (a restore)."""
+        self._check(n_bits)
+        tech = self.technology
+        rows = self._row_accesses(n_bits)
+        energy = (
+            n_bits * (tech.read_energy_j + _SENSE_AMP_E_J)
+            + rows * self._periphery_energy_j(self.geometry.width_bits)
+            + BACKUP_CONTROLLER_E_J
+        )
+        latency = (
+            rows * (tech.read_latency_s + _DECODER_T_PER_BIT_S * self.geometry.address_bits)
+            + BACKUP_CONTROLLER_T_S
+        )
+        return AccessCost(energy_j=energy, latency_s=latency)
+
+    def standby_power_w(self) -> float:
+        """Standby power of the whole array (near zero for true NVM)."""
+        return self.geometry.capacity_bits * self.technology.standby_power_w
+
+    def _check(self, n_bits: int) -> None:
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        if n_bits > self.geometry.capacity_bits:
+            raise ValueError(
+                f"access of {n_bits} bits exceeds capacity "
+                f"{self.geometry.capacity_bits}"
+            )
+
+
+def backup_array_for(state_bits: int, technology: NvmTechnology = MRAM) -> MemoryArrayModel:
+    """Convenience: size a backup array for ``state_bits`` of state.
+
+    The array is padded to the bus width so a full backup always fits.
+    """
+    capacity = max(NVM_BUS_WIDTH_BITS, state_bits)
+    geometry = ArrayGeometry(capacity_bits=capacity)
+    return MemoryArrayModel(geometry=geometry, technology=technology)

@@ -1,0 +1,109 @@
+"""NVM endurance and lifetime analysis.
+
+Non-volatile memories wear out: MRAM endures ~1e15 writes, ReRAM ~1e9,
+PCM ~1e8 (see :mod:`repro.tech.nvm`).  Because DIAC's whole pitch is
+*minimizing NVM writes*, the write-traffic reduction translates directly
+into device lifetime — an extension the paper's Section IV-C trade-off
+discussion implies but does not quantify.  This module does the
+quantification: given a scheme's execution result and a duty-cycle
+assumption, estimate writes per cell per day and the resulting lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.tech.nvm import NvmTechnology
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (sim -> fsm -> core)
+    from repro.sim.intermittent import ExecutionResult
+
+#: Seconds per day, for lifetime conversions.
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Wear-out projection for one scheme on one workload.
+
+    Attributes:
+        scheme: scheme name.
+        technology: the NVM family under analysis.
+        writes_per_macro_task: total cell writes per macro task.
+        macro_tasks_per_day: workload rate assumption.
+        writes_per_cell_per_day: worst-case per-cell write rate (commits
+            rewrite every cell of the backup image).
+        lifetime_days: days until the endurance bound, for the hottest
+            cell.
+    """
+
+    scheme: str
+    technology: NvmTechnology
+    writes_per_macro_task: int
+    macro_tasks_per_day: float
+    writes_per_cell_per_day: float
+    lifetime_days: float
+
+    @property
+    def lifetime_years(self) -> float:
+        """Lifetime in years (float('inf') when effectively unbounded)."""
+        return self.lifetime_days / 365.25
+
+
+def estimate_lifetime(
+    result: "ExecutionResult",
+    technology: NvmTechnology,
+    commit_bits: int,
+    macro_tasks_per_day: float = 96.0,
+) -> LifetimeEstimate:
+    """Project NVM lifetime from one macro-task execution.
+
+    Args:
+        result: the executor's outcome for the scheme.
+        technology: NVM family (supplies the endurance bound).
+        commit_bits: bits per commit (each commit writes each cell once).
+        macro_tasks_per_day: how many macro tasks the node completes per
+            day (default: one per 15 minutes).
+
+    Returns:
+        A :class:`LifetimeEstimate`.
+
+    Raises:
+        ValueError: for non-positive rates or widths.
+    """
+    if macro_tasks_per_day <= 0:
+        raise ValueError("macro_tasks_per_day must be positive")
+    if commit_bits < 1:
+        raise ValueError("commit_bits must be >= 1")
+    writes_per_cell_per_task = float(result.n_backups)
+    per_day = writes_per_cell_per_task * macro_tasks_per_day
+    if per_day <= 0:
+        lifetime_days = float("inf")
+    else:
+        lifetime_days = technology.endurance / per_day
+    return LifetimeEstimate(
+        scheme=result.scheme,
+        technology=technology,
+        writes_per_macro_task=result.nvm_bits_written,
+        macro_tasks_per_day=macro_tasks_per_day,
+        writes_per_cell_per_day=per_day,
+        lifetime_days=lifetime_days,
+    )
+
+
+def lifetime_gain(
+    baseline: LifetimeEstimate, improved: LifetimeEstimate
+) -> float:
+    """Lifetime ratio improved/baseline (inf-aware).
+
+    Raises:
+        ValueError: when the estimates use different technologies.
+    """
+    if baseline.technology.name != improved.technology.name:
+        raise ValueError("lifetime gain requires a common technology")
+    if baseline.lifetime_days == float("inf"):
+        return 1.0 if improved.lifetime_days == float("inf") else 0.0
+    if improved.lifetime_days == float("inf"):
+        return float("inf")
+    return improved.lifetime_days / baseline.lifetime_days

@@ -1,0 +1,5 @@
+"""ASCII visualization helpers for traces and PDP charts."""
+
+from repro.viz.ascii_plot import bar_chart, line_plot
+
+__all__ = ["bar_chart", "line_plot"]

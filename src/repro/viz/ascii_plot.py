@@ -1,0 +1,95 @@
+"""Terminal plots (no plotting library required offline).
+
+Renders the Fig. 4 energy timeline and Fig. 5-style bar charts as ASCII,
+for the examples and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 100,
+    height: int = 20,
+    title: str = "",
+    y_markers: dict[str, float] | None = None,
+) -> str:
+    """Render a sampled (x, y) series as an ASCII line plot.
+
+    Args:
+        xs: x values (monotonic).
+        ys: y values.
+        width/height: plot grid size in characters.
+        title: optional heading.
+        y_markers: named horizontal levels (e.g. thresholds) drawn as
+            ``-`` lines and labelled on the right margin.
+
+    Returns:
+        The rendered plot text.
+    """
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    y_min = min(min(ys), *(y_markers or {"": min(ys)}).values())
+    y_max = max(max(ys), *(y_markers or {"": max(ys)}).values())
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = xs[0], xs[-1]
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(height - 1, max(0, int((1.0 - frac) * (height - 1))))
+
+    labels: dict[int, str] = {}
+    for name, level in (y_markers or {}).items():
+        r = row_of(level)
+        for c in range(width):
+            if grid[r][c] == " ":
+                grid[r][c] = "-"
+        labels[r] = name
+    for x, y in zip(xs, ys):
+        c = min(width - 1, max(0, int((x - x_min) / (x_max - x_min) * (width - 1))))
+        grid[row_of(y)][c] = "*"
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        suffix = f" {labels[r]}" if r in labels else ""
+        lines.append("".join(row) + suffix)
+    lines.append(f"x: {x_min:g} .. {x_max:g}   y: {y_min:.3g} .. {y_max:.3g}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    groups: dict[str, dict[str, float]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars (Fig. 5 style).
+
+    Args:
+        groups: group label -> {series label -> value}; values are
+            rendered relative to the global maximum.
+        width: bar width in characters at the maximum value.
+        title: optional heading.
+    """
+    if not groups:
+        raise ValueError("no groups to plot")
+    peak = max(v for series in groups.values() for v in series.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(
+        len(s) for series in groups.values() for s in series
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(group)
+        for name, value in series.items():
+            n = int(round(value / peak * width))
+            lines.append(
+                f"  {name.ljust(label_w)} |{'#' * n}{' ' * (width - n)}| {value:.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the DIAC reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    CircuitSpec,
+    GateType,
+    Netlist,
+    S27_BENCH,
+    generate_circuit,
+    parse_bench,
+)
+from repro.core import DiacSynthesizer
+
+
+@pytest.fixture(scope="session")
+def s27() -> Netlist:
+    """The genuine ISCAS-89 s27 netlist."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+@pytest.fixture(scope="session")
+def small_logic() -> Netlist:
+    """A deterministic 60-gate random-logic circuit."""
+    return generate_circuit(
+        CircuitSpec(name="fixture_logic", n_gates=60, ff_fraction=0.2)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_fsm() -> Netlist:
+    """A deterministic FSM-style circuit with a healthy FF fraction."""
+    return generate_circuit(
+        CircuitSpec(name="fixture_fsm", n_gates=120, ff_fraction=0.3, style="fsm")
+    )
+
+
+@pytest.fixture(scope="session")
+def combinational() -> Netlist:
+    """A purely combinational (PLD-style) circuit."""
+    return generate_circuit(
+        CircuitSpec(name="fixture_pld", n_gates=90, ff_fraction=0.0, style="pld")
+    )
+
+
+@pytest.fixture(scope="session")
+def s27_design(s27: Netlist):
+    """A default DIAC design for s27."""
+    return DiacSynthesizer().run(s27)
+
+
+@pytest.fixture()
+def tiny_chain() -> Netlist:
+    """x -> NOT -> NOT -> output, the smallest interesting chain."""
+    netlist = Netlist(name="chain")
+    netlist.add_input("x")
+    netlist.add_gate("a", GateType.NOT, ["x"])
+    netlist.add_gate("b", GateType.NOT, ["a"])
+    netlist.add_output("b")
+    netlist.validate()
+    return netlist

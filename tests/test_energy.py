@@ -1,0 +1,192 @@
+"""Tests for the energy substrate: storage, thresholds, harvesters, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import E_MAX_J, THRESHOLD_FRACTIONS
+from repro.energy import (
+    EnergyStorage,
+    HarvestSegment,
+    HarvestTrace,
+    InsufficientEnergyError,
+    ThresholdSet,
+    evaluation_trace,
+    fig4_trace,
+    kinetic_trace,
+    rfid_trace,
+    solar_trace,
+    steady_trace,
+)
+
+
+class TestEnergyStorage:
+    def test_deposit_and_withdraw(self):
+        store = EnergyStorage(e_max_j=10.0)
+        assert store.deposit(4.0) == 4.0
+        store.withdraw(1.5)
+        assert store.energy_j == pytest.approx(2.5)
+
+    def test_clipping_at_capacity(self):
+        store = EnergyStorage(e_max_j=10.0, energy_j=9.0)
+        stored = store.deposit(5.0)
+        assert stored == pytest.approx(1.0)
+        assert store.is_full
+        assert store.total_clipped_j == pytest.approx(4.0)
+
+    def test_overdraw_raises_and_preserves(self):
+        store = EnergyStorage(e_max_j=10.0, energy_j=1.0)
+        with pytest.raises(InsufficientEnergyError):
+            store.withdraw(2.0)
+        assert store.energy_j == pytest.approx(1.0)
+
+    def test_drain_caps_at_zero(self):
+        store = EnergyStorage(e_max_j=10.0, energy_j=1.0)
+        assert store.drain(5.0) == pytest.approx(1.0)
+        assert store.energy_j == 0.0
+
+    def test_negative_amounts_rejected(self):
+        store = EnergyStorage(e_max_j=10.0)
+        with pytest.raises(ValueError):
+            store.deposit(-1.0)
+        with pytest.raises(ValueError):
+            store.withdraw(-1.0)
+        with pytest.raises(ValueError):
+            store.drain(-1.0)
+
+    def test_voltage_tracks_energy(self):
+        store = EnergyStorage(e_max_j=E_MAX_J, capacitance_f=2e-3)
+        store.deposit(E_MAX_J)
+        assert store.voltage_v == pytest.approx(5.0)
+
+    def test_ledger_balances(self):
+        store = EnergyStorage(e_max_j=10.0)
+        store.deposit(8.0)
+        store.withdraw(3.0)
+        store.deposit(7.0)
+        store.drain(1.0)
+        assert abs(store.ledger_residual_j()) < 1e-12
+
+    def test_initial_energy_validation(self):
+        with pytest.raises(ValueError):
+            EnergyStorage(e_max_j=1.0, energy_j=2.0)
+
+
+class TestThresholds:
+    def test_paper_defaults_ordering(self):
+        th = ThresholdSet.paper_defaults()
+        assert th.off_j < th.backup_j < th.safe_j < th.sense_j
+        assert th.sense_j < th.compute_j < th.transmit_j <= th.e_max_j
+
+    def test_paper_safe_margin_is_2mj(self):
+        th = ThresholdSet.paper_defaults()
+        assert th.safe_zone_margin_j == pytest.approx(2e-3)
+
+    def test_from_e_max_proportions(self):
+        th = ThresholdSet.from_e_max(1.0)
+        assert th.backup_j == pytest.approx(THRESHOLD_FRACTIONS["backup"])
+        assert th.transmit_j == pytest.approx(THRESHOLD_FRACTIONS["transmit"])
+
+    def test_scaled(self):
+        th = ThresholdSet.paper_defaults().scaled(2.0)
+        assert th.compute_j == pytest.approx(16e-3)
+
+    def test_with_safe_margin(self):
+        th = ThresholdSet.paper_defaults().with_safe_margin(1e-3)
+        assert th.safe_zone_margin_j == pytest.approx(1e-3)
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdSet(
+                off_j=2.0,
+                backup_j=1.0,
+                safe_j=3.0,
+                sense_j=4.0,
+                compute_j=5.0,
+                transmit_j=6.0,
+                e_max_j=10.0,
+            )
+
+    def test_for_state_lookup(self):
+        th = ThresholdSet.paper_defaults()
+        assert th.for_state("compute") == th.compute_j
+        with pytest.raises(KeyError):
+            th.for_state("sleep")
+
+
+class TestHarvestTrace:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            HarvestSegment(0.0, 1.0)
+        with pytest.raises(ValueError):
+            HarvestSegment(1.0, -1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            HarvestTrace([])
+
+    def test_power_at_cycles(self):
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 10.0), HarvestSegment(2.0, 20.0)]
+        )
+        assert trace.power_at(0.5) == 10.0
+        assert trace.power_at(1.5) == 20.0
+        assert trace.power_at(3.5) == 10.0  # wrapped
+
+    def test_energy_between_exact(self):
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 10.0), HarvestSegment(1.0, 0.0)]
+        )
+        assert trace.energy_between(0.0, 2.0) == pytest.approx(10.0)
+        assert trace.energy_between(0.5, 1.5) == pytest.approx(5.0)
+        assert trace.energy_between(0.0, 4.0) == pytest.approx(20.0)
+
+    def test_mean_and_peak(self):
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 10.0), HarvestSegment(3.0, 2.0)]
+        )
+        assert trace.peak_power_w == 10.0
+        assert trace.mean_power_w == pytest.approx(16.0 / 4.0)
+
+    def test_scaled(self):
+        trace = steady_trace(2.0).scaled(power_factor=3.0, time_factor=2.0)
+        assert trace.peak_power_w == 6.0
+        assert trace.period_s == 2.0
+
+    @pytest.mark.parametrize(
+        "factory", [rfid_trace, solar_trace, kinetic_trace]
+    )
+    def test_source_generators_deterministic(self, factory):
+        a, b = factory(), factory()
+        assert [(s.duration_s, s.power_w) for s in a.segments] == [
+            (s.duration_s, s.power_w) for s in b.segments
+        ]
+
+    def test_rfid_has_dead_time(self):
+        trace = rfid_trace()
+        assert any(s.power_w == 0.0 for s in trace.segments)
+
+    def test_solar_nonnegative(self):
+        assert all(s.power_w >= 0 for s in solar_trace().segments)
+
+
+class TestCanonicalTraces:
+    def test_fig4_span(self):
+        trace = fig4_trace()
+        assert 3500 < trace.period_s < 4500  # the paper's ~4000 s axis
+
+    def test_fig4_has_surplus_and_drought(self):
+        trace = fig4_trace()
+        assert trace.peak_power_w >= 100e-6
+        assert any(s.power_w == 0.0 for s in trace.segments)
+
+    def test_evaluation_trace_scaling(self):
+        trace = evaluation_trace(p_ref_w=1e-6, t_ref_s=2.0)
+        assert trace.peak_power_w <= 1.2e-6
+        assert trace.period_s == pytest.approx(
+            sum(s.duration_s for s in trace.segments)
+        )
+
+    def test_evaluation_trace_validation(self):
+        with pytest.raises(ValueError):
+            evaluation_trace(0.0, 1.0)

@@ -1,0 +1,203 @@
+"""Tests for the fluid intermittent executor and the scheme profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    SCHEME_ORDER,
+    all_profiles,
+    profile_diac,
+    profile_nv_based,
+    profile_nv_clustering,
+)
+from repro.energy import HarvestSegment, HarvestTrace
+from repro.sim.intermittent import (
+    IntermittentExecutor,
+    SchemeProfile,
+    TraceTooWeakError,
+)
+from repro.tech import MRAM
+
+
+def simple_profile(
+    safe_zone: bool = False, window: float = 0.0
+) -> SchemeProfile:
+    return SchemeProfile(
+        name="test",
+        pass_energy_j=1e-9,
+        pass_time_s=1e-3,
+        commit_bits=32,
+        restore_bits=32,
+        reexec_window_j=window,
+        uses_safe_zone=safe_zone,
+        technology=MRAM,
+    )
+
+
+def burst_trace(e_max: float, active_power: float) -> HarvestTrace:
+    """Strong bursts and dead air at the scale of ``e_max``."""
+    p_ref = 0.02 * active_power
+    t_ref = 0.25 * e_max / p_ref
+    return HarvestTrace(
+        [
+            HarvestSegment(1.5 * t_ref, p_ref),
+            HarvestSegment(1.0 * t_ref, 0.0),
+            HarvestSegment(1.5 * t_ref, p_ref),
+            HarvestSegment(0.6 * t_ref, 0.6 * p_ref),
+        ]
+    )
+
+
+class TestProfileValidation:
+    def test_rejects_nonpositive_energy(self):
+        with pytest.raises(ValueError):
+            SchemeProfile(
+                name="bad",
+                pass_energy_j=0.0,
+                pass_time_s=1.0,
+                commit_bits=1,
+                restore_bits=1,
+                reexec_window_j=0.0,
+                uses_safe_zone=False,
+            )
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SchemeProfile(
+                name="bad",
+                pass_energy_j=1.0,
+                pass_time_s=1.0,
+                commit_bits=0,
+                restore_bits=1,
+                reexec_window_j=0.0,
+                uses_safe_zone=False,
+            )
+
+    def test_active_power(self):
+        prof = simple_profile()
+        assert prof.active_power_w == pytest.approx(1e-6)
+
+
+class TestExecutorBasics:
+    def test_completes_under_bursty_power(self):
+        prof = simple_profile()
+        e_max = 50e-9
+        ex = IntermittentExecutor(
+            prof, e_max, burst_trace(e_max, prof.active_power_w)
+        )
+        result = ex.run(work_target_j=10 * prof.pass_energy_j)
+        assert result.completed
+        assert result.useful_energy_j == pytest.approx(10 * prof.pass_energy_j)
+        assert result.total_energy_j >= result.useful_energy_j
+        assert result.active_time_s > 0
+        assert result.pdp_js > 0
+
+    def test_dips_counted(self):
+        prof = simple_profile()
+        e_max = 5e-9  # small capacitor -> many dips
+        ex = IntermittentExecutor(
+            prof, e_max, burst_trace(e_max, prof.active_power_w)
+        )
+        result = ex.run(work_target_j=20e-9)
+        assert result.n_dips > 0
+
+    def test_no_safe_zone_backups_equal_dips(self):
+        prof = simple_profile(safe_zone=False)
+        e_max = 5e-9
+        ex = IntermittentExecutor(
+            prof, e_max, burst_trace(e_max, prof.active_power_w)
+        )
+        result = ex.run(work_target_j=20e-9)
+        assert result.n_backups == result.n_dips
+        assert result.n_restores == result.n_backups
+
+    def test_safe_zone_skips_some_backups(self):
+        e_max = 5e-9
+        trace = burst_trace(e_max, 1e-6)
+        plain = IntermittentExecutor(
+            simple_profile(safe_zone=False), e_max, trace,
+            sleep_drain_w=0.13 * e_max / (0.25 * e_max / (0.02 * 1e-6)),
+        ).run(work_target_j=20e-9)
+        opt = IntermittentExecutor(
+            simple_profile(safe_zone=True), e_max, trace,
+            sleep_drain_w=0.13 * e_max / (0.25 * e_max / (0.02 * 1e-6)),
+        ).run(work_target_j=20e-9)
+        assert opt.n_backups < plain.n_backups
+        assert opt.n_safe_recoveries > 0
+
+    def test_reexecution_recorded_for_windowed_profiles(self):
+        e_max = 5e-9
+        trace = burst_trace(e_max, 1e-6)
+        windowed = IntermittentExecutor(
+            simple_profile(window=0.5e-9), e_max, trace
+        ).run(work_target_j=20e-9)
+        checkpointed = IntermittentExecutor(
+            simple_profile(window=0.0), e_max, trace
+        ).run(work_target_j=20e-9)
+        assert windowed.reexec_energy_j > 0
+        assert checkpointed.reexec_energy_j == 0.0
+        assert windowed.total_energy_j > checkpointed.total_energy_j
+
+    def test_nvm_traffic_accounting(self):
+        prof = simple_profile()
+        e_max = 5e-9
+        ex = IntermittentExecutor(prof, e_max, burst_trace(e_max, 1e-6))
+        result = ex.run(work_target_j=20e-9)
+        assert result.nvm_bits_written == prof.commit_bits * result.n_backups
+        assert result.nvm_bits_read == prof.restore_bits * result.n_restores
+
+    def test_weak_trace_raises(self):
+        prof = simple_profile()
+        weak = HarvestTrace([HarvestSegment(1.0, 1e-15)])
+        ex = IntermittentExecutor(prof, 5e-9, weak)
+        with pytest.raises(TraceTooWeakError):
+            ex.run(work_target_j=1e-6, max_cycles=3)
+
+    def test_emax_validation(self):
+        with pytest.raises(ValueError):
+            IntermittentExecutor(simple_profile(), 0.0, burst_trace(1e-9, 1e-6))
+
+    def test_energy_overhead_fraction(self):
+        prof = simple_profile()
+        e_max = 5e-9
+        ex = IntermittentExecutor(prof, e_max, burst_trace(e_max, 1e-6))
+        result = ex.run(work_target_j=20e-9)
+        assert 0.0 <= result.energy_overhead < 1.0
+
+
+class TestSchemeProfiles:
+    def test_all_profiles_order(self, s27_design):
+        profiles = all_profiles(s27_design)
+        assert tuple(p.name for p in profiles) == SCHEME_ORDER
+
+    def test_nv_based_heaviest_pass(self, s27_design):
+        nv = profile_nv_based(s27_design.report, MRAM)
+        cl = profile_nv_clustering(s27_design.report, MRAM)
+        diac = profile_diac(s27_design, optimized=False)
+        assert nv.pass_energy_j > cl.pass_energy_j > diac.pass_energy_j
+        assert nv.pass_time_s > cl.pass_time_s > diac.pass_time_s
+
+    def test_clustering_commits_fewer_bits(self, s27_design):
+        nv = profile_nv_based(s27_design.report, MRAM)
+        cl = profile_nv_clustering(s27_design.report, MRAM)
+        assert cl.commit_bits <= nv.commit_bits
+
+    def test_diac_commit_capped_by_state(self, s27_design):
+        diac = profile_diac(s27_design)
+        assert diac.commit_bits <= s27_design.state_bits
+
+    def test_only_optimized_uses_safe_zone(self, s27_design):
+        assert profile_diac(s27_design, optimized=True).uses_safe_zone
+        assert not profile_diac(s27_design, optimized=False).uses_safe_zone
+        assert not profile_nv_based(s27_design.report, MRAM).uses_safe_zone
+
+    def test_checkpoint_schemes_have_no_window(self, s27_design):
+        assert profile_nv_based(s27_design.report, MRAM).reexec_window_j == 0.0
+        assert profile_nv_clustering(s27_design.report, MRAM).reexec_window_j == 0.0
+        assert profile_diac(s27_design).reexec_window_j > 0.0
+
+    def test_instance_cycles_scale_energy(self, s27_design):
+        short = profile_diac(s27_design, instance_cycles=10)
+        long = profile_diac(s27_design, instance_cycles=100)
+        assert long.pass_energy_j == pytest.approx(10 * short.pass_energy_j)

@@ -1,0 +1,145 @@
+"""Edge-case tests for the fluid executor's event arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import HarvestSegment, HarvestTrace, ThresholdSet
+from repro.sim.intermittent import IntermittentExecutor, SchemeProfile
+from repro.tech import MRAM
+
+
+def profile(**overrides) -> SchemeProfile:
+    defaults = dict(
+        name="edge",
+        pass_energy_j=1e-9,
+        pass_time_s=1e-3,
+        commit_bits=16,
+        restore_bits=16,
+        reexec_window_j=0.0,
+        uses_safe_zone=False,
+        technology=MRAM,
+    )
+    defaults.update(overrides)
+    return SchemeProfile(**defaults)
+
+
+class TestSteadySources:
+    def test_strong_steady_source_never_dips(self):
+        """Harvest above active power: the work streams through."""
+        prof = profile()
+        strong = HarvestTrace([HarvestSegment(1.0, 10 * prof.active_power_w)])
+        ex = IntermittentExecutor(prof, 10e-9, strong)
+        result = ex.run(work_target_j=5e-9)
+        assert result.completed
+        assert result.n_dips == 0
+        assert result.n_backups == 0
+        assert result.total_energy_j == pytest.approx(5e-9)
+
+    def test_exact_active_power_source(self):
+        """p_in == p_active: zero net drain, work still completes."""
+        prof = profile()
+        balanced = HarvestTrace([HarvestSegment(1.0, prof.active_power_w)])
+        ex = IntermittentExecutor(prof, 10e-9, balanced)
+        result = ex.run(work_target_j=3e-9)
+        assert result.completed
+        assert result.n_dips == 0
+
+    def test_active_time_equals_work_over_power(self):
+        prof = profile()
+        strong = HarvestTrace([HarvestSegment(1.0, 10 * prof.active_power_w)])
+        result = IntermittentExecutor(prof, 10e-9, strong).run(work_target_j=4e-9)
+        assert result.active_time_s == pytest.approx(4e-9 / prof.active_power_w)
+
+
+class TestSegmentBoundaries:
+    def test_work_split_across_many_segments(self):
+        """Short alternating segments force the per-segment closed forms."""
+        prof = profile()
+        choppy = HarvestTrace(
+            [HarvestSegment(2e-4, 2 * prof.active_power_w),
+             HarvestSegment(2e-4, 0.5 * prof.active_power_w)]
+        )
+        e_max = 10e-9
+        result = IntermittentExecutor(prof, e_max, choppy).run(work_target_j=3e-9)
+        assert result.completed
+        assert result.useful_energy_j == pytest.approx(3e-9)
+
+    def test_dip_exactly_at_segment_edge(self):
+        """Capacitor drains to Th_Safe right as a segment ends."""
+        prof = profile(uses_safe_zone=True)
+        e_max = 4e-9
+        th = ThresholdSet.from_e_max(e_max)
+        # Dead air long enough that the dip decays, then recharge.
+        p_in = 0.01 * prof.active_power_w
+        trace = HarvestTrace(
+            [HarvestSegment(1e-4, p_in), HarvestSegment(5e-4, 3 * p_in)]
+        )
+        ex = IntermittentExecutor(
+            prof, e_max, trace, thresholds=th,
+            sleep_drain_w=p_in * 2,
+        )
+        result = ex.run(work_target_j=1.5e-9, max_cycles=2000)
+        assert result.completed
+        assert result.n_dips >= 1
+
+
+class TestWorkTargets:
+    def test_zero_extra_target_uses_default(self):
+        prof = profile()
+        strong = HarvestTrace([HarvestSegment(1.0, 10 * prof.active_power_w)])
+        ex = IntermittentExecutor(prof, 1e-9, strong)
+        result = ex.run()  # default: MACRO_TASK_ENERGY_RATIO * e_max
+        assert result.work_target_j == pytest.approx(4e-9)
+
+    def test_tiny_work_target(self):
+        prof = profile()
+        strong = HarvestTrace([HarvestSegment(1.0, 10 * prof.active_power_w)])
+        result = IntermittentExecutor(prof, 10e-9, strong).run(work_target_j=1e-15)
+        assert result.completed
+        assert result.wall_time_s < 1e-6
+
+    def test_reexec_never_loses_committed_work(self):
+        """Work regressions are bounded by the re-exec window."""
+        prof = profile(uses_safe_zone=False, reexec_window_j=0.3e-9)
+        e_max = 4e-9
+        p_ref = 0.02 * prof.active_power_w
+        t_ref = 0.25 * e_max / p_ref
+        trace = HarvestTrace(
+            [HarvestSegment(1.5 * t_ref, p_ref), HarvestSegment(t_ref, 0.0)]
+        )
+        result = IntermittentExecutor(prof, e_max, trace).run(work_target_j=20e-9)
+        assert result.completed
+        # Total re-exec <= backups x half-window (the expectation bound).
+        assert result.reexec_energy_j <= result.n_backups * 0.5 * 0.3e-9 + 1e-18
+
+
+class TestCommitEnergetics:
+    def test_commit_energy_in_total(self):
+        prof = profile()
+        e_max = 4e-9
+        p_ref = 0.02 * prof.active_power_w
+        t_ref = 0.25 * e_max / p_ref
+        trace = HarvestTrace(
+            [HarvestSegment(2 * t_ref, p_ref), HarvestSegment(t_ref, 0.0)]
+        )
+        result = IntermittentExecutor(prof, e_max, trace).run(work_target_j=20e-9)
+        commit_e = prof.backup_array().write_cost(prof.commit_bits).energy_j
+        restore_e = prof.backup_array().read_cost(prof.restore_bits).energy_j
+        expected_overhead = result.n_backups * commit_e + result.n_restores * restore_e
+        assert result.total_energy_j >= result.work_target_j + expected_overhead * 0.99
+
+    def test_wider_commits_cost_more(self):
+        e_max = 4e-9
+        p_ref = 0.02 * profile().active_power_w
+        t_ref = 0.25 * e_max / p_ref
+        trace = HarvestTrace(
+            [HarvestSegment(2 * t_ref, p_ref), HarvestSegment(t_ref, 0.0)]
+        )
+        narrow = IntermittentExecutor(
+            profile(commit_bits=8, restore_bits=8), e_max, trace
+        ).run(work_target_j=20e-9)
+        wide = IntermittentExecutor(
+            profile(commit_bits=512, restore_bits=512), e_max, trace
+        ).run(work_target_j=20e-9)
+        assert wide.total_energy_j > narrow.total_energy_j

@@ -1,0 +1,189 @@
+"""Tests for the Algorithm 1 state machine and its interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import EnergyStorage, ThresholdSet, steady_trace
+from repro.fsm import (
+    IntermittentController,
+    IntermittentSensorNode,
+    NodeState,
+    OperationCosts,
+    PowerInterrupt,
+    RegFlag,
+    SensorNodeConfig,
+    TimerInterrupt,
+)
+
+
+class TestInterrupts:
+    def test_timer_fires_once_per_interval(self):
+        timer = TimerInterrupt(interval_s=1.0)
+        fires = [timer.poll(t / 10.0) for t in range(25)]
+        assert sum(fires) == 2  # at t=1.0 and t=2.0 within [0, 2.4]
+
+    def test_timer_slow_down(self):
+        timer = TimerInterrupt(interval_s=1.0)
+        timer.slow_down(2.0)
+        assert timer.interval_s == 2.0
+        with pytest.raises(ValueError):
+            timer.slow_down(0.5)
+
+    def test_power_interrupt_fires_on_crossing(self):
+        irq = PowerInterrupt(threshold_j=1.0)
+        assert not irq.poll(2.0)
+        assert irq.poll(0.9)
+        assert not irq.poll(0.8)  # stays disarmed below
+
+    def test_power_interrupt_rearm_hysteresis(self):
+        irq = PowerInterrupt(threshold_j=1.0, rearm_fraction=1.05)
+        assert irq.poll(0.9)
+        assert not irq.poll(1.01)  # within hysteresis band: not re-armed
+        assert not irq.poll(0.9)
+        assert not irq.poll(1.10)  # re-arms
+        assert irq.poll(0.9)
+
+    def test_reg_flag_requested_states(self):
+        assert RegFlag.SENSE.requested_state is NodeState.SENSE
+        assert RegFlag.COMPUTE.requested_state is NodeState.COMPUTE
+        assert RegFlag.TRANSMIT.requested_state is NodeState.TRANSMIT
+        assert RegFlag.HALT.requested_state is NodeState.SLEEP
+
+
+def make_controller(
+    power_w: float,
+    safe_zone: bool = True,
+    **kwargs,
+) -> IntermittentController:
+    thresholds = ThresholdSet.paper_defaults()
+    storage = EnergyStorage(e_max_j=thresholds.e_max_j, energy_j=0.5 * thresholds.e_max_j)
+    kwargs.setdefault("dt_s", 0.05)
+    return IntermittentController(
+        storage=storage,
+        thresholds=thresholds,
+        trace=steady_trace(power_w),
+        costs=OperationCosts(uncertainty=0.0),
+        sense_interval_s=60.0,
+        safe_zone_enabled=safe_zone,
+        **kwargs,
+    )
+
+
+class TestControllerSteadyPower:
+    def test_full_duty_cycle_completes(self):
+        ctrl = make_controller(power_w=500e-6)
+        result = ctrl.run(duration_s=300.0)
+        assert result.count("senses") >= 1
+        assert result.count("computes") >= 1
+        assert result.count("transmits") >= 1
+
+    def test_sense_then_compute_then_transmit_order(self):
+        ctrl = make_controller(power_w=500e-6)
+        result = ctrl.run(duration_s=300.0)
+        kinds = [e.kind for e in result.events if e.kind in ("sense", "compute", "transmit")]
+        first_three = kinds[:3]
+        assert first_three == ["sense", "compute", "transmit"]
+
+    def test_counts_monotone(self):
+        ctrl = make_controller(power_w=400e-6)
+        result = ctrl.run(duration_s=600.0)
+        assert result.count("senses") >= result.count("computes")
+        assert result.count("computes") >= result.count("transmits")
+
+    def test_no_power_means_shutdown(self):
+        ctrl = make_controller(power_w=0.0)
+        result = ctrl.run(duration_s=2000.0)
+        assert result.count("shutdowns") >= 0
+        assert result.count("backups") >= 1  # leakage forces the power IRQ
+
+    def test_energy_never_negative_or_above_max(self):
+        ctrl = make_controller(power_w=300e-6)
+        result = ctrl.run(duration_s=500.0)
+        for _t, e, _s in result.timeline:
+            assert -1e-12 <= e <= ctrl.storage.e_max_j + 1e-12
+
+    def test_timeline_states_are_node_states(self):
+        ctrl = make_controller(power_w=300e-6)
+        result = ctrl.run(duration_s=100.0)
+        assert all(isinstance(s, NodeState) for _t, _e, s in result.timeline)
+
+
+class TestBackupRestore:
+    def test_leakage_triggers_backup_then_shutdown(self):
+        ctrl = make_controller(power_w=0.0)
+        result = ctrl.run(duration_s=3000.0)
+        backups = result.events_of("backup")
+        shutdowns = result.events_of("shutdown")
+        assert backups and shutdowns
+        assert backups[0].t_s < shutdowns[0].t_s  # backup precedes power-off
+
+    def test_restore_after_recovery(self):
+        thresholds = ThresholdSet.paper_defaults()
+        storage = EnergyStorage(e_max_j=thresholds.e_max_j, energy_j=0.0)
+        from repro.energy import HarvestSegment, HarvestTrace
+
+        # Dead air long enough to go off, then strong recovery.
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 0.0), HarvestSegment(3000.0, 300e-6)]
+        )
+        ctrl = IntermittentController(
+            storage=storage,
+            thresholds=thresholds,
+            trace=trace,
+            costs=OperationCosts(uncertainty=0.0),
+            sense_interval_s=60.0,
+            dt_s=0.05,
+        )
+        result = ctrl.run(duration_s=600.0)
+        assert result.count("senses") >= 1  # woke up and worked
+
+    def test_nvm_traffic_accounted(self):
+        ctrl = make_controller(power_w=0.0, state_bits=64)
+        result = ctrl.run(duration_s=3000.0)
+        assert result.count("nvm_bits_written") == 64 * result.count("backups")
+
+
+class TestSafeZone:
+    def test_plain_diac_backs_up_more(self):
+        # Weak power: dips below Th_Safe happen while computing.
+        optimized = make_controller(power_w=60e-6, safe_zone=True)
+        plain = make_controller(power_w=60e-6, safe_zone=False)
+        res_opt = optimized.run(duration_s=2000.0)
+        res_plain = plain.run(duration_s=2000.0)
+        assert res_plain.count("backups") >= res_opt.count("backups")
+
+    def test_safe_zone_recovery_without_write(self):
+        ctrl = make_controller(power_w=60e-6, safe_zone=True)
+        result = ctrl.run(duration_s=2000.0)
+        if result.count("safe_zone_recoveries"):
+            recoveries = result.events_of("safe_zone_recovery")
+            backups = result.events_of("backup")
+            # Recoveries are not accompanied by simultaneous writes.
+            for rec in recoveries:
+                assert all(abs(b.t_s - rec.t_s) > 1e-9 for b in backups)
+
+    def test_state_bits_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(power_w=1e-6, state_bits=1)
+
+    def test_dt_validation(self):
+        with pytest.raises(ValueError):
+            make_controller(power_w=1e-6, dt_s=0.0)
+
+
+class TestSensorNodeFacade:
+    def test_node_runs_fig4(self):
+        from repro.energy import fig4_trace
+
+        node = IntermittentSensorNode(fig4_trace(), SensorNodeConfig(seed=3))
+        result = node.run(500.0)
+        assert result.timeline
+
+    def test_design_attaches_state_bits(self, s27_design):
+        node = IntermittentSensorNode(
+            steady_trace(200e-6),
+            SensorNodeConfig(state_bits=8),
+            design=s27_design,
+        )
+        assert node.controller.state_bits >= s27_design.plan.max_commit_bits

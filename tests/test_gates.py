@@ -1,0 +1,136 @@
+"""Unit tests for the gate primitives."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuits.gates import (
+    COMBINATIONAL_TYPES,
+    GateArityError,
+    GateType,
+    check_arity,
+    evaluate_gate,
+    gate_type_from_name,
+)
+
+
+class TestEvaluateGate:
+    @pytest.mark.parametrize(
+        "bits, expected",
+        [((0, 0), 0), ((0, 1), 0), ((1, 0), 0), ((1, 1), 1)],
+    )
+    def test_and2(self, bits, expected):
+        assert evaluate_gate(GateType.AND, bits) == expected
+
+    @pytest.mark.parametrize(
+        "bits, expected",
+        [((0, 0), 1), ((0, 1), 1), ((1, 0), 1), ((1, 1), 0)],
+    )
+    def test_nand2(self, bits, expected):
+        assert evaluate_gate(GateType.NAND, bits) == expected
+
+    @pytest.mark.parametrize(
+        "bits, expected",
+        [((0, 0), 0), ((0, 1), 1), ((1, 0), 1), ((1, 1), 1)],
+    )
+    def test_or2(self, bits, expected):
+        assert evaluate_gate(GateType.OR, bits) == expected
+
+    @pytest.mark.parametrize(
+        "bits, expected",
+        [((0, 0), 1), ((0, 1), 0), ((1, 0), 0), ((1, 1), 0)],
+    )
+    def test_nor2(self, bits, expected):
+        assert evaluate_gate(GateType.NOR, bits) == expected
+
+    @pytest.mark.parametrize("bits", list(itertools.product((0, 1), repeat=3)))
+    def test_xor_is_parity(self, bits):
+        assert evaluate_gate(GateType.XOR, bits) == sum(bits) % 2
+
+    @pytest.mark.parametrize("bits", list(itertools.product((0, 1), repeat=3)))
+    def test_xnor_is_inverted_parity(self, bits):
+        assert evaluate_gate(GateType.XNOR, bits) == (sum(bits) + 1) % 2
+
+    def test_not(self):
+        assert evaluate_gate(GateType.NOT, [0]) == 1
+        assert evaluate_gate(GateType.NOT, [1]) == 0
+
+    def test_buf(self):
+        assert evaluate_gate(GateType.BUF, [0]) == 0
+        assert evaluate_gate(GateType.BUF, [1]) == 1
+
+    @pytest.mark.parametrize(
+        "sel, a, b", list(itertools.product((0, 1), repeat=3))
+    )
+    def test_mux_semantics(self, sel, a, b):
+        expected = b if sel else a
+        assert evaluate_gate(GateType.MUX, [sel, a, b]) == expected
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, []) == 0
+        assert evaluate_gate(GateType.CONST1, []) == 1
+
+    def test_dff_has_no_combinational_function(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.DFF, [1])
+
+    def test_input_has_no_combinational_function(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.INPUT, [])
+
+    def test_wide_and(self):
+        assert evaluate_gate(GateType.AND, [1] * 8) == 1
+        assert evaluate_gate(GateType.AND, [1] * 7 + [0]) == 0
+
+
+class TestArity:
+    def test_not_requires_exactly_one(self):
+        check_arity(GateType.NOT, 1)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.NOT, 2)
+
+    def test_mux_requires_three(self):
+        check_arity(GateType.MUX, 3)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.MUX, 2)
+
+    def test_dff_requires_one(self):
+        check_arity(GateType.DFF, 1)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.DFF, 0)
+
+    def test_input_requires_zero(self):
+        check_arity(GateType.INPUT, 0)
+        with pytest.raises(GateArityError):
+            check_arity(GateType.INPUT, 1)
+
+    def test_nary_gates_accept_many_inputs(self):
+        for gtype in (GateType.AND, GateType.OR, GateType.XOR):
+            check_arity(gtype, 2)
+            check_arity(gtype, 9)
+
+    def test_nary_gates_reject_zero(self):
+        with pytest.raises(GateArityError):
+            check_arity(GateType.AND, 0)
+
+
+class TestTypeNames:
+    def test_standard_names(self):
+        assert gate_type_from_name("NAND") is GateType.NAND
+        assert gate_type_from_name("nand") is GateType.NAND
+
+    def test_aliases(self):
+        assert gate_type_from_name("INV") is GateType.NOT
+        assert gate_type_from_name("BUFF") is GateType.BUF
+        assert gate_type_from_name("buffer") is GateType.BUF
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown gate type"):
+            gate_type_from_name("FROB")
+
+    def test_combinational_set_excludes_state_and_sources(self):
+        assert GateType.DFF not in COMBINATIONAL_TYPES
+        assert GateType.INPUT not in COMBINATIONAL_TYPES
+        assert GateType.NAND in COMBINATIONAL_TYPES

@@ -1,0 +1,99 @@
+"""Cross-module integration tests: the whole flow, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DiacConfig, DiacSynthesizer
+from repro.circuits import parse_verilog
+from repro.circuits.validate import check_equivalent
+from repro.evaluation import evaluate_circuit, evaluate_design
+from repro.energy import fig4_trace
+from repro.fsm import IntermittentSensorNode, SensorNodeConfig
+from repro.suite import load_circuit
+from repro.tech import RERAM
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("name", ["s27", "b02", "s298", "b9ctrl"])
+    def test_synthesis_preserves_function(self, name):
+        netlist = load_circuit(name)
+        design = DiacSynthesizer().run(netlist)
+        regenerated = parse_verilog(design.code.verilog)
+        check_equivalent(netlist, regenerated, n_vectors=24, n_cycles=3)
+
+    @pytest.mark.parametrize("name", ["s27", "b10", "seq"])
+    def test_fig5_ordering_per_circuit(self, name):
+        evaluation = evaluate_circuit(name)
+        norm = evaluation.normalized_pdp()
+        assert (
+            norm["Optimized DIAC"]
+            < norm["DIAC"]
+            < norm["NV-clustering"]
+            < norm["NV-based"]
+            == pytest.approx(1.0)
+        )
+
+    def test_improvements_in_plausible_bands(self):
+        """Shape targets from DESIGN.md section 4."""
+        evaluation = evaluate_circuit("s298")
+        diac_vs_nv = evaluation.improvement_pct("DIAC", "NV-based")
+        opt_vs_diac = evaluation.improvement_pct("Optimized DIAC", "DIAC")
+        assert 20.0 < diac_vs_nv < 60.0
+        assert 10.0 < opt_vs_diac < 60.0
+
+    def test_reram_swap_keeps_trend(self):
+        """Section IV-C: swapping MRAM->ReRAM preserves the ordering and
+        grows optimized DIAC's margin."""
+        netlist = load_circuit("b10")
+        mram_design = DiacSynthesizer().run(netlist)
+        reram_design = DiacSynthesizer(DiacConfig(technology=RERAM)).run(netlist)
+        mram_eval = evaluate_design(mram_design)
+        reram_eval = evaluate_design(reram_design)
+        for ev in (mram_eval, reram_eval):
+            norm = ev.normalized_pdp()
+            assert norm["Optimized DIAC"] < norm["DIAC"] < 1.0
+        assert reram_eval.improvement_pct(
+            "Optimized DIAC", "DIAC"
+        ) > mram_eval.improvement_pct("Optimized DIAC", "DIAC")
+
+
+class TestFsmIntegration:
+    def test_fig4_narrative(self):
+        """The six-region Fig. 4 storyline on the paper's 25 mJ system."""
+        trace = fig4_trace()
+        node = IntermittentSensorNode(trace, SensorNodeConfig(seed=3))
+        result = node.run(trace.period_s)
+
+        # (1) the capacitor saturates during the surplus region.
+        e_max_events = result.events_of("e_max")
+        assert any(t.t_s < 700.0 for t in e_max_events)
+        # (3)/(4) the drought forces a backup and then a shutdown...
+        assert any(1300.0 < e.t_s < 2250.0 for e in result.events_of("backup"))
+        assert any(1300.0 < e.t_s < 2250.0 for e in result.events_of("shutdown"))
+        # ...and recovery restores from NVM.
+        assert any(2100.0 < e.t_s < 2600.0 for e in result.events_of("restore"))
+        # (5) safe-zone dips recover without NVM writes.
+        assert result.count("safe_zone_recoveries") >= 3
+        # (6) the final interruption backs up but never powers off.
+        tail_backups = [e for e in result.events_of("backup") if e.t_s > 3300.0]
+        tail_shutdowns = [e for e in result.events_of("shutdown") if e.t_s > 3300.0]
+        assert tail_backups
+        assert not tail_shutdowns
+
+    def test_safe_zone_reduces_nvm_writes_on_fig4(self):
+        trace = fig4_trace()
+        optimized = IntermittentSensorNode(
+            trace, SensorNodeConfig(seed=3, safe_zone_enabled=True)
+        ).run(trace.period_s)
+        plain = IntermittentSensorNode(
+            trace, SensorNodeConfig(seed=3, safe_zone_enabled=False)
+        ).run(trace.period_s)
+        assert optimized.count("nvm_bits_written") < plain.count("nvm_bits_written")
+
+    def test_design_driven_node(self, s27_design):
+        node = IntermittentSensorNode(
+            fig4_trace(), SensorNodeConfig(seed=1), design=s27_design
+        )
+        result = node.run(1000.0)
+        assert result.count("senses") >= 1

@@ -1,0 +1,99 @@
+"""Tests for structural levelization and cut analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    GateType,
+    Netlist,
+    balanced_tree_circuit,
+    critical_path_delay,
+    cut_width,
+    fanin_cone,
+    levelize,
+)
+
+
+class TestLevels:
+    def test_chain_levels(self, tiny_chain):
+        lev = levelize(tiny_chain)
+        assert lev.level_of("x") == 0
+        assert lev.level_of("a") == 1
+        assert lev.level_of("b") == 2
+        assert lev.depth == 2
+
+    def test_balanced_tree_depth(self):
+        tree = balanced_tree_circuit(8)
+        assert levelize(tree).depth == 3  # log2(8)
+
+    def test_sources_at_level_zero(self, s27):
+        lev = levelize(s27)
+        for net in s27.inputs:
+            assert lev.level_of(net) == 0
+        for ff in s27.flip_flops:
+            assert lev.level_of(ff.name) == 0
+
+    def test_gate_above_deepest_fanin(self, s27):
+        lev = levelize(s27)
+        for gate in s27.logic_gates:
+            assert lev.level_of(gate.name) == 1 + max(
+                lev.level_of(src) for src in gate.inputs
+            )
+
+    def test_by_level_partitions_all_nets(self, small_logic):
+        lev = levelize(small_logic)
+        flattened = [n for level in lev.by_level for n in level]
+        assert sorted(flattened) == sorted(small_logic.gates)
+
+
+class TestCriticalPath:
+    def test_chain_sums_delays(self, tiny_chain):
+        delays = {"a": 2.0, "b": 3.0}
+        assert critical_path_delay(tiny_chain, delays) == pytest.approx(5.0)
+
+    def test_parallel_paths_take_max(self):
+        netlist = Netlist(name="diamond")
+        netlist.add_input("x")
+        netlist.add_gate("slow", GateType.BUF, ["x"])
+        netlist.add_gate("fast", GateType.NOT, ["x"])
+        netlist.add_gate("join", GateType.AND, ["slow", "fast"])
+        netlist.add_output("join")
+        delays = {"slow": 10.0, "fast": 1.0, "join": 1.0}
+        assert critical_path_delay(netlist, delays) == pytest.approx(11.0)
+
+    def test_empty_delays_give_zero(self, tiny_chain):
+        assert critical_path_delay(tiny_chain, {}) == 0.0
+
+
+class TestCones:
+    def test_fanin_cone_of_output(self, s27):
+        cone = fanin_cone(s27, "G17")
+        assert "G17" in cone
+        assert "G11" in cone
+        # Stops at flip-flops by default.
+        assert "G10" not in cone or s27.driver("G10").is_sequential
+
+    def test_fanin_cone_crossing_state(self, s27):
+        shallow = fanin_cone(s27, "G17", stop_at_state=True)
+        deep = fanin_cone(s27, "G17", stop_at_state=False)
+        assert shallow <= deep
+        assert len(deep) > len(shallow)
+
+    def test_cone_of_input_is_singleton(self, s27):
+        assert fanin_cone(s27, "G0") == {"G0"}
+
+
+class TestCutWidth:
+    def test_tree_cut_narrows_toward_root(self):
+        tree = balanced_tree_circuit(8)
+        lev = levelize(tree)
+        widths = [cut_width(tree, level, lev) for level in range(lev.depth)]
+        # 8-leaf tree: cuts of width 4, 2, 1 above levels 1, 2 (then none).
+        assert widths[1] == 4
+        assert widths[2] == 2
+        assert widths[0] == 8
+
+    def test_cut_above_depth_is_zero(self, s27):
+        lev = levelize(s27)
+        assert cut_width(s27, lev.depth, lev) == 0

@@ -1,0 +1,147 @@
+"""Cross-cutting coverage: serialization of every gate type, boundary
+behaviour of traces, and report formatting details."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    GateType,
+    Netlist,
+    parse_bench,
+    parse_verilog,
+    write_bench,
+    write_verilog,
+)
+from repro.circuits.validate import check_equivalent
+from repro.dse import DesignPoint
+from repro.energy import HarvestSegment, HarvestTrace
+from repro.metrics import format_table
+from repro.sim.logic_sim import LogicSimulator
+
+
+def all_types_netlist() -> Netlist:
+    """One of every emittable gate type wired into a single netlist."""
+    netlist = Netlist(name="alltypes")
+    for name in ("a", "b", "c"):
+        netlist.add_input(name)
+    netlist.add_gate("zero", GateType.CONST0)
+    netlist.add_gate("one", GateType.CONST1)
+    netlist.add_gate("g_and", GateType.AND, ["a", "b"])
+    netlist.add_gate("g_nand", GateType.NAND, ["a", "b"])
+    netlist.add_gate("g_or", GateType.OR, ["b", "c"])
+    netlist.add_gate("g_nor", GateType.NOR, ["b", "c"])
+    netlist.add_gate("g_xor", GateType.XOR, ["a", "c"])
+    netlist.add_gate("g_xnor", GateType.XNOR, ["a", "c"])
+    netlist.add_gate("g_not", GateType.NOT, ["a"])
+    netlist.add_gate("g_buf", GateType.BUF, ["g_and"])
+    netlist.add_gate("g_mux", GateType.MUX, ["a", "g_or", "g_xor"])
+    netlist.add_gate("g_ff", GateType.DFF, ["g_mux"])
+    netlist.add_gate("g_mix", GateType.AND, ["g_ff", "one", "g_nor"])
+    netlist.add_gate("g_sink", GateType.OR, ["g_mix", "zero", "g_nand", "g_buf", "g_xnor", "g_not"])
+    netlist.add_output("g_sink")
+    netlist.validate()
+    return netlist
+
+
+class TestAllGateTypesSerialization:
+    def test_bench_roundtrip_every_type(self):
+        netlist = all_types_netlist()
+        again = parse_bench(write_bench(netlist), name=netlist.name)
+        check_equivalent(netlist, again, n_cycles=3)
+
+    def test_verilog_roundtrip_every_type(self):
+        netlist = all_types_netlist()
+        again = parse_verilog(write_verilog(netlist))
+        check_equivalent(netlist, again, n_cycles=3)
+
+    def test_exhaustive_equivalence(self):
+        """All 8 input combinations, 3 cycles, against both serializations."""
+        netlist = all_types_netlist()
+        rebuilt = parse_verilog(write_verilog(netlist))
+        sim_a, sim_b = LogicSimulator(netlist), LogicSimulator(rebuilt)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            sim_a.reset()
+            sim_b.reset()
+            for _ in range(3):
+                assert sim_a.step({"a": a, "b": b, "c": c}) == sim_b.step(
+                    {"a": a, "b": b, "c": c}
+                )
+
+
+class TestTraceBoundaries:
+    def test_segment_at_exact_boundary(self):
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 10.0), HarvestSegment(1.0, 20.0)]
+        )
+        seg, remaining = trace.segment_at(1.0)
+        assert seg.power_w == 20.0
+        assert remaining == pytest.approx(1.0)
+
+    def test_segment_at_period_wraps_to_start(self):
+        trace = HarvestTrace(
+            [HarvestSegment(1.0, 10.0), HarvestSegment(1.0, 20.0)]
+        )
+        seg, _ = trace.segment_at(2.0)
+        assert seg.power_w == 10.0
+
+    def test_negative_time_rejected(self):
+        trace = HarvestTrace([HarvestSegment(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            trace.segment_at(-0.1)
+
+    def test_energy_between_reversed_rejected(self):
+        trace = HarvestTrace([HarvestSegment(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            trace.energy_between(2.0, 1.0)
+
+    def test_zero_width_window(self):
+        trace = HarvestTrace([HarvestSegment(1.0, 5.0)])
+        assert trace.energy_between(0.3, 0.3) == 0.0
+
+
+class TestFormatting:
+    def test_format_table_without_title(self):
+        text = format_table(["x"], [[1]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "x"
+
+    def test_format_table_float_precision(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_format_table_mixed_types(self):
+        text = format_table(["a", "b"], [["s", 2], [3.5, "t"]])
+        assert "3.500" in text and "t" in text
+
+    def test_design_point_label_contents(self):
+        label = DesignPoint(policy=2, budget_scale=0.5, use_safe_zone=False).label()
+        assert "P2" in label and "b0.5" in label and "nosafe" in label
+        assert "MRAM" in label
+
+
+class TestNetlistRenameEdges:
+    def test_rename_collision_detected(self, s27):
+        # Renaming G17 onto an existing net must fail validation/creation.
+        with pytest.raises(Exception):
+            s27.renamed({"G17": "G11"}).validate()
+
+    def test_rename_inputs_and_outputs_together(self, s27):
+        mapping = {net: f"in_{i}" for i, net in enumerate(s27.inputs)}
+        renamed = s27.renamed(mapping)
+        assert sorted(renamed.inputs) == sorted(mapping.values())
+        check_equivalent(
+            s27.renamed(mapping), renamed
+        )  # self-consistency of the rename
+
+    def test_run_applies_vectors_in_order(self, s27):
+        sim = LogicSimulator(s27)
+        vectors = [
+            {"G0": 0, "G1": 0, "G2": 0, "G3": 0},
+            {"G0": 1, "G1": 1, "G2": 1, "G3": 1},
+        ]
+        outs = sim.run(vectors)
+        assert len(outs) == 2
+        assert sim.cycles == 2

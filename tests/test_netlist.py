@@ -1,0 +1,138 @@
+"""Unit tests for the netlist container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import GateType, Netlist, NetlistError
+
+
+def build_half_adder() -> Netlist:
+    netlist = Netlist(name="ha")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("sum", GateType.XOR, ["a", "b"])
+    netlist.add_gate("carry", GateType.AND, ["a", "b"])
+    netlist.add_output("sum")
+    netlist.add_output("carry")
+    return netlist
+
+
+class TestConstruction:
+    def test_counts(self):
+        netlist = build_half_adder()
+        assert netlist.num_gates == 2
+        assert netlist.num_ffs == 0
+        assert netlist.inputs == ["a", "b"]
+        assert netlist.outputs == ["sum", "carry"]
+
+    def test_duplicate_driver_rejected(self):
+        netlist = build_half_adder()
+        with pytest.raises(NetlistError, match="already driven"):
+            netlist.add_gate("sum", GateType.OR, ["a", "b"])
+
+    def test_duplicate_output_rejected(self):
+        netlist = build_half_adder()
+        with pytest.raises(NetlistError, match="declared twice"):
+            netlist.add_output("sum")
+
+    def test_len_and_contains(self):
+        netlist = build_half_adder()
+        assert len(netlist) == 4  # 2 inputs + 2 gates
+        assert "sum" in netlist
+        assert "nope" not in netlist
+
+    def test_driver_lookup(self):
+        netlist = build_half_adder()
+        assert netlist.driver("sum").gtype is GateType.XOR
+        with pytest.raises(NetlistError, match="no driver"):
+            netlist.driver("ghost")
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        build_half_adder().validate()
+
+    def test_undriven_input_detected(self):
+        netlist = Netlist(name="bad")
+        netlist.add_gate("g", GateType.NOT, ["missing"])
+        with pytest.raises(NetlistError, match="undriven net"):
+            netlist.validate()
+
+    def test_undriven_output_detected(self):
+        netlist = Netlist(name="bad")
+        netlist.add_input("a")
+        netlist.add_output("ghost")
+        with pytest.raises(NetlistError, match="undriven"):
+            netlist.validate()
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist(name="cyclic")
+        netlist.add_input("x")
+        netlist.add_gate("p", GateType.AND, ["x", "q"])
+        netlist.add_gate("q", GateType.AND, ["x", "p"])
+        netlist.add_output("q")
+        with pytest.raises(NetlistError, match="cycle"):
+            netlist.validate()
+
+    def test_sequential_loop_is_legal(self):
+        netlist = Netlist(name="toggler")
+        netlist.add_gate("q", GateType.DFF, ["d"])
+        netlist.add_gate("d", GateType.NOT, ["q"])
+        netlist.add_output("q")
+        netlist.validate()  # must not raise
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, s27):
+        order = [g.name for g in s27.topological_order()]
+        position = {name: i for i, name in enumerate(order)}
+        for gate in s27.logic_gates:
+            for src in gate.inputs:
+                assert position[src] < position[gate.name]
+
+    def test_order_covers_every_gate(self, s27):
+        order = s27.topological_order()
+        assert len(order) == len(s27)
+
+    def test_dff_outputs_act_as_sources(self, s27):
+        order = [g.name for g in s27.topological_order()]
+        position = {name: i for i, name in enumerate(order)}
+        # G5 = DFF(G10): G5 may precede G10 (sequential edge is cut).
+        assert position["G5"] < position["G11"]
+
+
+class TestViewsAndTransforms:
+    def test_fanout_map(self, s27):
+        fanout = s27.fanout_map()
+        assert set(fanout["G11"]) == {"G17", "G10", "G6"}
+
+    def test_fanout_count_includes_outputs(self):
+        netlist = build_half_adder()
+        assert netlist.fanout_count("sum") == 1  # primary output only
+        assert netlist.fanout_count("a") == 2
+
+    def test_copy_is_independent(self, s27):
+        clone = s27.copy(name="s27_clone")
+        clone.add_output("G10")
+        assert "G10" not in s27.outputs
+        assert clone.name == "s27_clone"
+
+    def test_renamed_preserves_structure(self, s27):
+        mapping = {"G0": "in0", "G17": "out0"}
+        renamed = s27.renamed(mapping)
+        assert "in0" in renamed.inputs
+        assert renamed.outputs == ["out0"]
+        renamed.validate()
+        assert renamed.num_gates == s27.num_gates
+
+    def test_stats_keys(self, s27):
+        stats = s27.stats()
+        assert stats["gates"] == 10
+        assert stats["ffs"] == 3
+        assert stats["inputs"] == 4
+        assert stats["outputs"] == 1
+        assert stats["n_nor"] == 3
+
+    def test_flip_flops_view(self, s27):
+        assert {g.name for g in s27.flip_flops} == {"G5", "G6", "G7"}

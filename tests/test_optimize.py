@@ -1,0 +1,173 @@
+"""Tests for the netlist optimization passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    CircuitSpec,
+    GateType,
+    Netlist,
+    cancel_double_inverters,
+    generate_circuit,
+    optimize,
+    propagate_constants,
+    remove_dead_gates,
+    sweep_buffers,
+)
+from repro.circuits.validate import check_equivalent
+from repro.sim.logic_sim import LogicSimulator
+
+
+def sim_output(netlist: Netlist, **inputs: int) -> dict[str, int]:
+    return LogicSimulator(netlist).step(inputs)
+
+
+class TestConstantPropagation:
+    def build(self, gtype: GateType, const: GateType) -> Netlist:
+        netlist = Netlist(name="cp")
+        netlist.add_input("a")
+        netlist.add_gate("k", const)
+        netlist.add_gate("y", gtype, ["a", "k"])
+        netlist.add_output("y")
+        netlist.validate()
+        return netlist
+
+    def test_and_with_zero_is_zero(self):
+        folded = propagate_constants(self.build(GateType.AND, GateType.CONST0))
+        assert folded.driver("y").gtype is GateType.CONST0
+
+    def test_and_with_one_is_wire(self):
+        folded = propagate_constants(self.build(GateType.AND, GateType.CONST1))
+        assert folded.driver("y").gtype is GateType.BUF
+        assert folded.driver("y").inputs == ("a",)
+
+    def test_or_with_one_is_one(self):
+        folded = propagate_constants(self.build(GateType.OR, GateType.CONST1))
+        assert folded.driver("y").gtype is GateType.CONST1
+
+    def test_nand_with_zero_is_one(self):
+        folded = propagate_constants(self.build(GateType.NAND, GateType.CONST0))
+        assert folded.driver("y").gtype is GateType.CONST1
+
+    def test_nor_with_zero_is_not(self):
+        folded = propagate_constants(self.build(GateType.NOR, GateType.CONST0))
+        assert folded.driver("y").gtype is GateType.NOT
+
+    def test_xor_with_one_is_not(self):
+        folded = propagate_constants(self.build(GateType.XOR, GateType.CONST1))
+        assert folded.driver("y").gtype is GateType.NOT
+
+    def test_xnor_with_one_is_wire(self):
+        folded = propagate_constants(self.build(GateType.XNOR, GateType.CONST1))
+        assert folded.driver("y").gtype is GateType.BUF
+
+    def test_mux_constant_select(self):
+        netlist = Netlist(name="mux")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_gate("one", GateType.CONST1)
+        netlist.add_gate("y", GateType.MUX, ["one", "a", "b"])
+        netlist.add_output("y")
+        folded = propagate_constants(netlist)
+        assert folded.driver("y").inputs == ("b",)
+
+    def test_not_of_constant(self):
+        netlist = Netlist(name="nc")
+        netlist.add_input("a")
+        netlist.add_gate("zero", GateType.CONST0)
+        netlist.add_gate("n", GateType.NOT, ["zero"])
+        netlist.add_gate("y", GateType.AND, ["a", "n"])
+        netlist.add_output("y")
+        folded = propagate_constants(netlist)
+        # NOT(0) -> 1, then AND(a, 1) -> BUF(a) after the fixpoint.
+        assert folded.driver("y").gtype is GateType.BUF
+
+    def test_equivalence_preserved(self):
+        netlist = self.build(GateType.XOR, GateType.CONST1)
+        folded = propagate_constants(netlist)
+        for a in (0, 1):
+            assert sim_output(netlist, a=a) == sim_output(folded, a=a)
+
+
+class TestStructuralPasses:
+    def test_double_inverter_cancels(self):
+        netlist = Netlist(name="dd")
+        netlist.add_input("a")
+        netlist.add_gate("n1", GateType.NOT, ["a"])
+        netlist.add_gate("n2", GateType.NOT, ["n1"])
+        netlist.add_gate("y", GateType.BUF, ["n2"])
+        netlist.add_output("y")
+        cleaned = cancel_double_inverters(netlist)
+        assert cleaned.driver("y").inputs == ("a",)
+        assert "n1" not in cleaned.gates  # dead after rewiring
+
+    def test_buffer_sweep(self):
+        netlist = Netlist(name="bb")
+        netlist.add_input("a")
+        netlist.add_gate("b1", GateType.BUF, ["a"])
+        netlist.add_gate("b2", GateType.BUF, ["b1"])
+        netlist.add_gate("y", GateType.NOT, ["b2"])
+        netlist.add_output("y")
+        swept = sweep_buffers(netlist)
+        assert swept.driver("y").inputs == ("a",)
+
+    def test_buffer_driving_output_kept(self):
+        netlist = Netlist(name="bo")
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.BUF, ["a"])
+        netlist.add_output("y")
+        swept = sweep_buffers(netlist)
+        assert swept.driver("y").gtype is GateType.BUF
+
+    def test_dead_gate_removal(self):
+        netlist = Netlist(name="dead")
+        netlist.add_input("a")
+        netlist.add_gate("used", GateType.NOT, ["a"])
+        netlist.add_gate("unused", GateType.NOT, ["a"])
+        netlist.add_output("used")
+        cleaned = remove_dead_gates(netlist)
+        assert "unused" not in cleaned.gates
+        assert "used" in cleaned.gates
+
+    def test_dff_cone_is_live(self):
+        netlist = Netlist(name="seq")
+        netlist.add_input("a")
+        netlist.add_gate("d", GateType.NOT, ["a"])
+        netlist.add_gate("q", GateType.DFF, ["d"])
+        netlist.add_output("q")
+        cleaned = remove_dead_gates(netlist)
+        assert "d" in cleaned.gates
+
+
+class TestOptimizeFixpoint:
+    def test_s27_unchanged_function(self, s27):
+        optimized = optimize(s27)
+        check_equivalent(s27, optimized)
+
+    @pytest.mark.parametrize("seed_name", ["opt_a", "opt_b", "opt_c"])
+    def test_generated_circuits_equivalent_after_optimize(self, seed_name):
+        netlist = generate_circuit(
+            CircuitSpec(name=seed_name, n_gates=70, ff_fraction=0.15)
+        )
+        optimized = optimize(netlist)
+        optimized.validate()
+        # Outputs must exist and agree; dead internal gates may differ.
+        assert set(optimized.outputs) == set(netlist.outputs)
+        check_equivalent(netlist, optimized)
+
+    def test_optimize_never_grows(self, small_logic):
+        optimized = optimize(small_logic)
+        assert len(optimized.gates) <= len(small_logic.gates)
+
+    def test_optimize_removes_constant_cone(self):
+        netlist = Netlist(name="cone")
+        netlist.add_input("a")
+        netlist.add_gate("zero", GateType.CONST0)
+        netlist.add_gate("dead_and", GateType.AND, ["a", "zero"])
+        netlist.add_gate("y", GateType.OR, ["a", "dead_and"])
+        netlist.add_output("y")
+        optimized = optimize(netlist)
+        # OR(a, 0) -> BUF(a): only the buffer (output driver) remains.
+        assert optimized.driver("y").gtype is GateType.BUF
+        assert "dead_and" not in optimized.gates

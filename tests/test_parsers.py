@@ -1,0 +1,144 @@
+"""Tests for the .bench and BLIF parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    BenchParseError,
+    BlifParseError,
+    GateType,
+    S27_BENCH,
+    parse_bench,
+    parse_blif,
+    write_bench,
+)
+from repro.circuits.validate import check_equivalent
+from repro.sim.logic_sim import LogicSimulator
+
+
+class TestBenchParser:
+    def test_s27_shape(self, s27):
+        assert s27.num_gates == 10
+        assert s27.num_ffs == 3
+        assert s27.inputs == ["G0", "G1", "G2", "G3"]
+        assert s27.outputs == ["G17"]
+
+    def test_roundtrip_equivalence(self, s27):
+        again = parse_bench(write_bench(s27), name="s27")
+        check_equivalent(s27, again)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\n# mid comment\nOUTPUT(y)\ny = NOT(a)  # trailing\n"
+        netlist = parse_bench(text)
+        assert netlist.num_gates == 1
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = not(a)\n"
+        netlist = parse_bench(text)
+        assert netlist.driver("y").gtype is GateType.NOT
+
+    def test_alias_types(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = INV(a)\n"
+        assert parse_bench(text).driver("y").gtype is GateType.NOT
+
+    def test_bad_syntax_reports_line(self):
+        with pytest.raises(BenchParseError, match="line 2"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = WIBBLE(a)\n")
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\n")
+
+    def test_duplicate_driver_rejected(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"
+        with pytest.raises(BenchParseError):
+            parse_bench(text)
+
+    def test_write_bench_emits_constants(self):
+        text = "INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)\n"
+        netlist = parse_bench(text)
+        again = parse_bench(write_bench(netlist))
+        check_equivalent(netlist, again)
+
+
+SIMPLE_BLIF = """\
+.model toy
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+"""
+
+
+class TestBlifParser:
+    def test_and_cover(self):
+        netlist = parse_blif(SIMPLE_BLIF)
+        assert netlist.name == "toy"
+        sim = LogicSimulator(netlist)
+        for a in (0, 1):
+            for b in (0, 1):
+                out = sim.step({"a": a, "b": b})
+                assert out["y"] == (a & b)
+
+    def test_or_cover_multi_row(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n"
+        sim = LogicSimulator(parse_blif(text))
+        for a in (0, 1):
+            for b in (0, 1):
+                assert sim.step({"a": a, "b": b})["y"] == (a | b)
+
+    def test_inverted_literal(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+        sim = LogicSimulator(parse_blif(text))
+        assert sim.step({"a": 0})["y"] == 1
+        assert sim.step({"a": 1})["y"] == 0
+
+    def test_offset_cover(self):
+        # Off-set cover: y is 0 when a=1, so y = NOT(a).
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n"
+        sim = LogicSimulator(parse_blif(text))
+        assert sim.step({"a": 0})["y"] == 1
+        assert sim.step({"a": 1})["y"] == 0
+
+    def test_constant_one(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        sim = LogicSimulator(parse_blif(text))
+        assert sim.step({"a": 0})["y"] == 1
+
+    def test_constant_zero_empty_names(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names y\n.end\n"
+        sim = LogicSimulator(parse_blif(text))
+        assert sim.step({"a": 1})["y"] == 0
+
+    def test_latch_becomes_dff(self):
+        text = (
+            ".model m\n.inputs a\n.outputs q\n"
+            ".latch d q re clk 0\n.names a q d\n11 1\n.end\n"
+        )
+        netlist = parse_blif(text)
+        assert netlist.num_ffs == 1
+        assert netlist.driver("q").gtype is GateType.DFF
+
+    def test_line_continuation(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        netlist = parse_blif(text)
+        assert set(netlist.inputs) == {"a", "b"}
+
+    def test_unsupported_directive_raises(self):
+        with pytest.raises(BlifParseError, match="unsupported"):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.gate nand2 a=a y=y\n.end\n")
+
+    def test_cover_row_outside_names(self):
+        with pytest.raises(BlifParseError, match="outside"):
+            parse_blif(".model m\n.inputs a\n.outputs y\n11 1\n.end\n")
+
+    def test_mixed_polarity_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n"
+        with pytest.raises(BlifParseError, match="polarit"):
+            parse_blif(text)

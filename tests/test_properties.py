@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These cover the properties DESIGN.md's validation strategy calls out:
+energy conservation in the capacitor ledger, structural invariants of
+generated circuits and task graphs, round-trip stability of the parsers,
+and budget/partition laws of the replacement procedure.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CircuitSpec,
+    generate_circuit,
+    parse_bench,
+    write_bench,
+)
+from repro.core import build_task_graph, config_for_graph, apply_policy, insert_nvm
+from repro.energy import EnergyStorage, HarvestSegment, HarvestTrace, ThresholdSet
+
+# ---------------------------------------------------------------------------
+# Strategies.
+# ---------------------------------------------------------------------------
+
+spec_strategy = st.builds(
+    CircuitSpec,
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+        min_size=1,
+        max_size=8,
+    ),
+    n_gates=st.integers(min_value=1, max_value=120),
+    ff_fraction=st.floats(min_value=0.0, max_value=0.5),
+    style=st.sampled_from(["logic", "pld", "datapath", "fsm"]),
+)
+
+storage_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["deposit", "drain"]),
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+# ---------------------------------------------------------------------------
+# Circuit generation invariants.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=spec_strategy)
+def test_generated_circuits_always_validate(spec: CircuitSpec):
+    netlist = generate_circuit(spec)
+    netlist.validate()
+    assert netlist.num_gates == spec.n_gates
+    assert netlist.num_ffs == int(round(spec.n_gates * spec.ff_fraction))
+    assert netlist.outputs
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=spec_strategy)
+def test_bench_roundtrip_is_stable(spec: CircuitSpec):
+    netlist = generate_circuit(spec)
+    once = write_bench(netlist)
+    again = write_bench(parse_bench(once, name=netlist.name))
+    assert once == again
+
+
+# ---------------------------------------------------------------------------
+# Capacitor ledger conservation.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=storage_ops)
+def test_storage_ledger_always_balances(ops):
+    store = EnergyStorage(e_max_j=10.0)
+    for kind, amount in ops:
+        if kind == "deposit":
+            store.deposit(amount)
+        else:
+            store.drain(amount)
+        assert 0.0 <= store.energy_j <= store.e_max_j + 1e-12
+    assert abs(store.ledger_residual_j()) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Threshold scaling.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(e_max=st.floats(min_value=1e-12, max_value=1e3))
+def test_threshold_proportions_scale(e_max: float):
+    th = ThresholdSet.from_e_max(e_max)
+    reference = ThresholdSet.from_e_max(1.0)
+    assert th.backup_j / th.e_max_j == pytest.approx(reference.backup_j)
+    assert th.off_j < th.backup_j < th.safe_j < th.compute_j
+
+
+# ---------------------------------------------------------------------------
+# Harvest trace integral consistency.
+# ---------------------------------------------------------------------------
+
+segments_strategy = st.lists(
+    st.builds(
+        HarvestSegment,
+        duration_s=st.floats(min_value=0.1, max_value=5.0),
+        power_w=st.floats(min_value=0.0, max_value=1e-3),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(segments=segments_strategy, t0=st.floats(min_value=0.0, max_value=10.0),
+       span=st.floats(min_value=0.0, max_value=10.0))
+def test_energy_between_is_additive(segments, t0, span):
+    trace = HarvestTrace(segments)
+    mid = t0 + span / 2.0
+    end = t0 + span
+    whole = trace.energy_between(t0, end)
+    split = trace.energy_between(t0, mid) + trace.energy_between(mid, end)
+    assert abs(whole - split) <= 1e-9 * max(whole, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(segments=segments_strategy)
+def test_cycle_energy_matches_integral(segments):
+    trace = HarvestTrace(segments)
+    assert trace.energy_between(0.0, trace.period_s) <= trace.cycle_energy_j * (
+        1 + 1e-9
+    ) + 1e-18
+
+
+# ---------------------------------------------------------------------------
+# Policies and replacement preserve the partition invariant.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec=st.builds(
+        CircuitSpec,
+        name=st.sampled_from(["pa", "pb", "pc", "pd"]),
+        n_gates=st.integers(min_value=10, max_value=90),
+        ff_fraction=st.floats(min_value=0.0, max_value=0.3),
+        style=st.sampled_from(["logic", "fsm"]),
+    ),
+    policy=st.sampled_from([1, 2, 3]),
+    split_fraction=st.floats(min_value=1.1, max_value=6.0),
+)
+def test_policies_preserve_partition(spec, policy, split_fraction):
+    netlist = generate_circuit(spec)
+    graph = build_task_graph(netlist)
+    cfg = config_for_graph(
+        graph, split_fraction=split_fraction, merge_fraction=split_fraction / 2
+    )
+    result = apply_policy(graph, policy, cfg)
+    result.check()  # partition + acyclicity
+    before = {g for n in graph.nodes.values() for g in n.gates}
+    after = {g for n in result.nodes.values() for g in n.gates}
+    assert before == after
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec=st.builds(
+        CircuitSpec,
+        name=st.sampled_from(["ra", "rb", "rc"]),
+        n_gates=st.integers(min_value=10, max_value=90),
+        ff_fraction=st.floats(min_value=0.0, max_value=0.3),
+    ),
+    divisor=st.floats(min_value=1.5, max_value=20.0),
+)
+def test_replacement_schedule_covers_everything(spec, divisor):
+    netlist = generate_circuit(spec)
+    graph = build_task_graph(netlist)
+    plan = insert_nvm(graph, graph.total_energy_j / divisor)
+    scheduled = [nid for p in plan.schedule() for nid in p.node_ids]
+    assert sorted(scheduled) == sorted(graph.nodes)
+    assert all(p.commit_bits >= 3 for p in plan.schedule())
+    total = sum(p.energy_j for p in plan.schedule())
+    assert total <= graph.total_energy_j * (1 + 1e-9)

@@ -1,0 +1,82 @@
+"""Golden regression tests: pin the headline reproduction numbers.
+
+These lock the suite-level results recorded in EXPERIMENTS.md to a ±3 pp
+window, so calibration drift is caught immediately.  A deliberate
+recalibration should update both the expectations here and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.evaluation import evaluate_suite
+from repro.metrics import suite_improvements
+from repro.suite import small_roster
+
+#: (scheme, versus, suite) -> measured percentage from EXPERIMENTS.md,
+#: restricted to the <=1000-gate subset this test evaluates.
+GOLDEN_SUBSET = {
+    ("DIAC", "NV-based", "iscas89"): 39.6,
+    ("DIAC", "NV-based", "itc99"): 45.1,
+    ("DIAC", "NV-based", "mcnc"): 31.4,
+    ("Optimized DIAC", "NV-based", "iscas89"): 59.7,
+    ("Optimized DIAC", "NV-based", "itc99"): 62.9,
+    ("Optimized DIAC", "NV-based", "mcnc"): 55.2,
+}
+
+TOLERANCE_PP = 3.0
+
+
+@pytest.fixture(scope="module")
+def subset_evaluations():
+    names = [b.name for b in small_roster(max_gates=1000)]
+    return evaluate_suite(names)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN_SUBSET))
+def test_golden_improvements(subset_evaluations, key):
+    scheme, versus, suite = key
+    measured = suite_improvements(subset_evaluations, scheme, versus)[suite]
+    assert measured == pytest.approx(GOLDEN_SUBSET[key], abs=TOLERANCE_PP), (
+        f"{scheme} vs {versus} on {suite}: measured {measured:.1f}%, "
+        f"golden {GOLDEN_SUBSET[key]:.1f}% — recalibrate or update goldens"
+    )
+
+
+class TestCalibrationSanity:
+    def test_paper_system_constants(self):
+        assert calibration.E_MAX_J == pytest.approx(25e-3)
+        assert calibration.E_SENSE_J == 2e-3
+        assert calibration.E_COMPUTE_J == 4e-3
+        assert calibration.E_TRANSMIT_J == 9e-3
+        assert calibration.OPERATION_UNCERTAINTY == 0.10
+
+    def test_threshold_fractions_match_paper(self):
+        f = calibration.THRESHOLD_FRACTIONS
+        assert f["off"] == pytest.approx(1.5 / 25)
+        assert f["backup"] == pytest.approx(3 / 25)
+        assert f["safe"] == pytest.approx(5 / 25)
+        assert f["transmit"] == pytest.approx(12 / 25)
+
+    def test_safe_margin_is_2mj(self):
+        assert calibration.SAFE_ZONE_MARGIN_J == pytest.approx(2e-3)
+
+    def test_overheads_within_published_ranges(self):
+        assert 0.2 <= calibration.NVFF_DYNAMIC_OVERHEAD <= 0.6
+        assert 0.15 <= calibration.NVFF_DELAY_OVERHEAD <= 0.5
+        assert 0.5 <= calibration.LEFF_STATE_RATIO <= 1.0
+
+    def test_suite_profiles_cover_all_suites(self):
+        assert set(calibration.SUITE_FF_FRACTION) == {"iscas89", "itc99", "mcnc"}
+        # ITC-99 is the FSM-heavy suite.
+        assert calibration.SUITE_FF_FRACTION["itc99"] == max(
+            calibration.SUITE_FF_FRACTION.values()
+        )
+
+    def test_environment_shape_constants(self):
+        assert calibration.FULL_BACKUP_MULTIPLE > 1.0 / calibration.THRESHOLD_FRACTIONS[
+            "backup"
+        ] - 1.0 / calibration.THRESHOLD_FRACTIONS["off"]
+        assert 0 < calibration.EVAL_HARVEST_FRACTION < 0.5
+        assert calibration.INSTANCE_CYCLES >= 1

@@ -1,0 +1,110 @@
+"""Tests for the synthesis surrogate and the paper's analytic energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import GateType, Netlist
+from repro.tech import DEFAULT_LIBRARY, synthesize
+from repro.tech.synthesis import SynthesisReport
+
+
+class TestReportBasics:
+    def test_summary_fields(self, s27):
+        report = synthesize(s27)
+        summary = report.summary()
+        assert summary["gates"] == 10
+        assert summary["ffs"] == 3
+        assert summary["critical_path_ns"] > 0
+        assert summary["dynamic_energy_pj"] > 0
+
+    def test_activity_validation(self, s27):
+        with pytest.raises(ValueError):
+            synthesize(s27, activity=0.0)
+        with pytest.raises(ValueError):
+            synthesize(s27, activity=1.5)
+
+    def test_per_gate_accessors(self, s27):
+        report = synthesize(s27)
+        assert report.delay_of("G11") > 0
+        assert report.dynamic_power_of("G11") > 0
+        assert report.static_power_of("G11") > 0
+
+    def test_critical_path_at_least_deepest_gate(self, s27):
+        report = synthesize(s27)
+        assert report.critical_path_s >= max(
+            report.delay_of(g.name) for g in s27.logic_gates
+        )
+
+
+class TestAnalyticModel:
+    def test_paper_dynamic_formula_on_chain(self, tiny_chain):
+        """dynamic energy ~= 2 * sum(delay_i * dyn_power_i) * activity."""
+        report = synthesize(tiny_chain, activity=0.5)
+        expected = 0.0
+        for net in ("a", "b"):
+            cell = report.timing[net]
+            expected += 2.0 * cell.delay_s * cell.dynamic_power_w
+        expected *= 0.5
+        assert report.dynamic_energy_j(["a", "b"]) == pytest.approx(expected)
+
+    def test_static_formula_excludes_one_active_gate(self, tiny_chain):
+        report = synthesize(tiny_chain)
+        cdp = report.block_critical_path_s(["a", "b"])
+        leak = sum(report.timing[n].static_power_w for n in ("a", "b"))
+        leak -= min(report.timing[n].static_power_w for n in ("a", "b"))
+        assert report.static_energy_j(["a", "b"]) == pytest.approx(cdp * leak)
+
+    def test_dynamic_energy_additive_over_blocks(self, s27):
+        report = synthesize(s27)
+        gates = [g.name for g in s27.logic_gates]
+        left, right = gates[:5], gates[5:]
+        assert report.dynamic_energy_j(gates) == pytest.approx(
+            report.dynamic_energy_j(left) + report.dynamic_energy_j(right)
+        )
+
+    def test_block_critical_path_bounded_by_total(self, s27):
+        report = synthesize(s27)
+        gates = [g.name for g in s27.logic_gates]
+        assert report.block_critical_path_s(gates) <= report.critical_path_s + 1e-15
+
+    def test_single_gate_block(self, s27):
+        report = synthesize(s27)
+        assert report.block_critical_path_s(["G14"]) == pytest.approx(
+            report.delay_of("G14")
+        )
+
+    def test_disjoint_blocks_have_independent_paths(self):
+        netlist = Netlist(name="pair")
+        netlist.add_input("x")
+        netlist.add_gate("a", GateType.NOT, ["x"])
+        netlist.add_gate("b", GateType.NOT, ["x"])
+        netlist.add_output("a")
+        netlist.add_output("b")
+        report = synthesize(netlist)
+        both = report.block_critical_path_s(["a", "b"])
+        assert both == pytest.approx(report.delay_of("a"))
+
+    def test_ff_clock_energy_scales_with_ffs(self, s27, combinational):
+        assert synthesize(s27).ff_clock_energy_j > 0
+        assert synthesize(combinational).ff_clock_energy_j == 0.0
+
+    def test_total_static_power_sums_cells(self, s27):
+        report = synthesize(s27)
+        assert report.total_static_power_w == pytest.approx(
+            sum(c.static_power_w for c in report.timing.values())
+        )
+
+    def test_topo_index_cached(self, s27):
+        report = synthesize(s27)
+        first = report.topo_index()
+        assert report.topo_index() is first
+        assert len(first) == len(s27)
+
+
+class TestLibraryInjection:
+    def test_custom_library_changes_results(self, s27):
+        fast = synthesize(s27, library=DEFAULT_LIBRARY)
+        slow_lib = type(DEFAULT_LIBRARY)(process_corner=2.0)
+        slow = synthesize(s27, library=slow_lib)
+        assert slow.critical_path_s > fast.critical_path_s

@@ -1,0 +1,149 @@
+"""Tests for the technology substrate: library, NVM models, CACTI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import GateType
+from repro.circuits.netlist import Gate
+from repro.tech import (
+    DEFAULT_LIBRARY,
+    FERAM,
+    MRAM,
+    PCM,
+    RERAM,
+    ArrayGeometry,
+    MemoryArrayModel,
+    NvmTechnology,
+    StandardCellLibrary,
+    backup_array_for,
+    get_technology,
+)
+
+
+class TestCellLibrary:
+    def test_characterization_positive(self):
+        for gtype in (GateType.NAND, GateType.XOR, GateType.DFF):
+            inputs = ("a",) if gtype is GateType.DFF else ("a", "b")
+            cell = DEFAULT_LIBRARY.characterize(Gate("g", gtype, inputs))
+            assert cell.delay_s > 0
+            assert cell.dynamic_energy_j > 0
+            assert cell.static_power_w > 0
+
+    def test_fanin_derating_monotone(self):
+        lib = DEFAULT_LIBRARY
+        two = lib.characterize(Gate("g", GateType.AND, ("a", "b")))
+        four = lib.characterize(Gate("g", GateType.AND, ("a", "b", "c", "d")))
+        assert four.delay_s > two.delay_s
+        assert four.dynamic_energy_j > two.dynamic_energy_j
+        assert four.static_power_w > two.static_power_w
+
+    def test_voltage_scaling_directions(self):
+        low = StandardCellLibrary(voltage_scale=0.8)
+        nominal = StandardCellLibrary(voltage_scale=1.0)
+        gate = Gate("g", GateType.NAND, ("a", "b"))
+        assert low.characterize(gate).delay_s > nominal.characterize(gate).delay_s
+        assert (
+            low.characterize(gate).dynamic_energy_j
+            < nominal.characterize(gate).dynamic_energy_j
+        )
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            StandardCellLibrary(voltage_scale=0.0)
+
+    def test_dynamic_power_definition(self):
+        cell = DEFAULT_LIBRARY.characterize(Gate("g", GateType.NOR, ("a", "b")))
+        assert cell.dynamic_power_w == pytest.approx(
+            cell.dynamic_energy_j / cell.delay_s
+        )
+
+    def test_ff_clock_energy_positive(self):
+        assert DEFAULT_LIBRARY.ff_clock_energy_j() > 0
+
+    def test_not_gate_ignores_derating(self):
+        cell = DEFAULT_LIBRARY.characterize(Gate("g", GateType.NOT, ("a",)))
+        assert cell.delay_s == pytest.approx(12e-12)
+
+
+class TestNvmModels:
+    def test_reram_ratio_matches_paper(self):
+        # Section IV-C: "the ReRAM write consumes ~4.4x more energy than MRAM".
+        assert RERAM.write_energy_j / MRAM.write_energy_j == pytest.approx(4.4)
+
+    def test_all_write_read_asymmetric(self):
+        for tech in (MRAM, RERAM, FERAM, PCM):
+            assert tech.write_read_ratio > 1.0
+
+    def test_pcm_most_expensive_write(self):
+        assert PCM.write_energy_j == max(
+            t.write_energy_j for t in (MRAM, RERAM, FERAM, PCM)
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get_technology("mram") is MRAM
+        assert get_technology("ReRAM") is RERAM
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="available"):
+            get_technology("flash")
+
+    def test_validation_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NvmTechnology("bad", 0.0, 1e-12, 1e-9, 1e-9)
+
+
+class TestCacti:
+    def test_geometry_rows(self):
+        geo = ArrayGeometry(capacity_bits=256, width_bits=64)
+        assert geo.rows == 4
+        assert geo.address_bits == 2
+
+    def test_geometry_single_row(self):
+        geo = ArrayGeometry(capacity_bits=32, width_bits=64)
+        assert geo.rows == 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(capacity_bits=0)
+
+    def test_write_cost_monotone_in_bits(self):
+        model = backup_array_for(512)
+        small = model.write_cost(64)
+        large = model.write_cost(512)
+        assert large.energy_j > small.energy_j
+        assert large.latency_s > small.latency_s
+
+    def test_read_cheaper_than_write_for_mram(self):
+        model = backup_array_for(128, technology=MRAM)
+        assert model.read_cost(128).energy_j < model.write_cost(128).energy_j
+
+    def test_capacity_guard(self):
+        model = backup_array_for(64)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            model.write_cost(100_000)
+
+    def test_nonpositive_bits_guard(self):
+        model = backup_array_for(64)
+        with pytest.raises(ValueError):
+            model.read_cost(0)
+
+    def test_wider_bus_fewer_rows_lower_latency(self):
+        narrow = MemoryArrayModel(ArrayGeometry(256, width_bits=32))
+        wide = MemoryArrayModel(ArrayGeometry(256, width_bits=256))
+        assert wide.write_cost(256).latency_s < narrow.write_cost(256).latency_s
+
+    def test_access_cost_addition(self):
+        model = backup_array_for(64)
+        total = model.write_cost(64) + model.read_cost(64)
+        assert total.energy_j == pytest.approx(
+            model.write_cost(64).energy_j + model.read_cost(64).energy_j
+        )
+
+    def test_technology_changes_energy(self):
+        mram = backup_array_for(128, technology=MRAM).write_cost(128).energy_j
+        reram = backup_array_for(128, technology=RERAM).write_cost(128).energy_j
+        assert reram > mram
+
+    def test_standby_power_zero_for_true_nvm(self):
+        assert backup_array_for(128).standby_power_w() == 0.0
