@@ -1,0 +1,98 @@
+"""SWEEP ENGINE — serial-vs-parallel and cached-vs-uncached throughput.
+
+The paper's design space "exponentially expands" with circuits, policies
+and power-failure scenarios; the sweep engine keeps that tractable two
+ways, and this bench quantifies both on a 36-point multi-circuit sweep:
+
+* **synthesis memoization** — the budget/safe-zone variants of one
+  (circuit, policy) group share a single characterization/tree/policy run
+  instead of re-synthesizing per point (the seed explorer's behavior);
+* **process parallelism** — synthesis-stage batches fan out over a
+  worker pool.  The measured ratio is hardware-honest: on a quota-limited
+  CI box it can be modest, so it is reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dse import SweepEngine, SweepSpec, SynthesisCache, evaluate_point
+from repro.suite import load_circuit
+
+SPEC = SweepSpec(
+    circuits=("s838", "s1196", "s1423"),
+    policies=(1, 2, 3),
+    budget_scales=(0.5, 1.0),
+    safe_zones=(True, False),
+)
+
+WORKERS = 4
+
+
+def fingerprint(records):
+    return sorted(
+        (r.circuit, r.point.label(), r.pdp_js, r.n_backups) for r in records
+    )
+
+
+def test_sweep_engine_parallel_vs_serial():
+    """36 points, 9 synthesis groups: serial baseline vs worker pool."""
+    assert len(SPEC) == 36
+
+    start = time.perf_counter()
+    serial = SweepEngine(workers=1).run(SPEC)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepEngine(workers=WORKERS).run(SPEC)
+    parallel_s = time.perf_counter() - start
+
+    assert fingerprint(parallel.records) == fingerprint(serial.records)
+    # One synthesize call per (circuit, policy) group, on both paths.
+    assert serial.stats.synthesize_calls == 9
+    assert parallel.stats.synthesize_calls == 9
+
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"\nsweep of {len(SPEC)} points over {len(SPEC.circuits)} circuits:"
+        f"\n  serial   ({serial.stats.n_batches} groups, 1 worker): "
+        f"{serial_s:.2f} s"
+        f"\n  parallel ({WORKERS} workers): {parallel_s:.2f} s"
+        f"\n  serial/parallel wall-clock ratio: {ratio:.2f}x"
+    )
+
+
+def test_synthesis_cache_vs_per_point_resynthesis():
+    """The memoized stage vs the seed explorer's synthesize-every-point."""
+    netlist = load_circuit("s1423")
+    points = [
+        point
+        for _circuit, point in SweepSpec(
+            circuits=("s1423",),
+            policies=(3,),
+            budget_scales=(0.5, 1.0, 2.0),
+            safe_zones=(True, False),
+        ).points()
+    ]
+
+    start = time.perf_counter()
+    cold_records = []
+    for point in points:  # fresh cache per point == re-synthesize each time
+        cold_records.append(evaluate_point(netlist, point))
+    cold_s = time.perf_counter() - start
+
+    cache = SynthesisCache()
+    start = time.perf_counter()
+    warm_records = [
+        evaluate_point(netlist, point, cache=cache) for point in points
+    ]
+    warm_s = time.perf_counter() - start
+
+    assert cache.synthesize_calls == 1
+    assert fingerprint(warm_records) == fingerprint(cold_records)
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"\n{len(points)} points of one (circuit, policy) group on s1423:"
+        f"\n  re-synthesize per point: {cold_s:.2f} s"
+        f"\n  shared synthesis stage:  {warm_s:.2f} s  ({ratio:.2f}x)"
+    )

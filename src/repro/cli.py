@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro synth path/to/design.bench     # ... on your own netlist
     python -m repro evaluate s298 --policy 3       # four-scheme comparison
     python -m repro sweep b10                      # design-space exploration
+    python -m repro sweep s27 b02 --workers 4 \
+        --results out.jsonl --resume               # parallel, resumable sweep
     python -m repro fig4                           # the Fig. 4 timeline
 
 Netlist arguments accept roster names, ``.bench`` files, or ``.blif``
@@ -107,26 +109,118 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.dse import DesignSpaceExplorer
+def _parse_criteria(specs: list[str]):
+    """Parse ``level,power,fanio`` weight triples into criteria objects."""
+    from repro.core.replacement import ReplacementCriteria
 
-    netlist = _resolve_netlist(args.circuit)
-    explorer = DesignSpaceExplorer(netlist)
-    records = explorer.sweep()
+    criteria = []
+    for spec in specs:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"error: criteria spec {spec!r} must be three "
+                "comma-separated weights, e.g. 1,1,1"
+            )
+        try:
+            level, power, fanio = (float(p) for p in parts)
+        except ValueError:
+            raise SystemExit(
+                f"error: criteria spec {spec!r} has non-numeric weights"
+            ) from None
+        criteria.append(
+            ReplacementCriteria(
+                level_weight=level, power_weight=power, fanio_weight=fanio
+            )
+        )
+    return tuple(criteria)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.dse import JsonlResultStore, SweepEngine, SweepSpec
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if args.resume and not args.results:
+        raise SystemExit("error: --resume requires --results")
+    netlists = {spec: _resolve_netlist(spec) for spec in args.circuits}
+    safe_zones = {
+        "both": (True, False), "on": (True,), "off": (False,),
+    }[args.safe_zone]
+    try:
+        technologies = tuple(get_technology(n) for n in args.nvm)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}") from None
+    try:
+        spec = SweepSpec(
+            circuits=tuple(args.circuits),
+            policies=tuple(args.policies),
+            budget_scales=tuple(args.budget_scales),
+            technologies=technologies,
+            criteria_sets=_parse_criteria(args.criteria),
+            safe_zones=safe_zones,
+            threshold_scales=tuple(args.threshold_scales),
+            safe_margin_scales=(
+                tuple(args.safe_margin_scales) if args.safe_margin_scales
+                else (None,)
+            ),
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    store = JsonlResultStore(args.results) if args.results else None
+    engine = SweepEngine(workers=args.workers, store=store)
+    result = engine.run(spec, netlists=netlists, resume=args.resume)
+
     rows = [
-        [r.point.label(), r.n_barriers, r.n_backups, f"{r.pdp_js:.3e}"]
-        for r in sorted(records, key=lambda r: r.pdp_js)
+        [
+            r.circuit,
+            r.point.label(),
+            r.n_barriers,
+            r.n_backups,
+            f"{r.reexec_energy_j:.3e}",
+            f"{r.pdp_js:.3e}",
+        ]
+        for r in sorted(result.records, key=lambda r: r.pdp_js)
     ]
+    title = f"{', '.join(args.circuits)}: design-space sweep"
     print(
         format_table(
-            ["design point", "barriers", "backups", "PDP (Js)"],
+            ["circuit", "design point", "barriers", "backups",
+             "re-exec (J)", "PDP (Js)"],
             rows,
-            title=f"{netlist.name}: design-space sweep",
+            title=title,
         )
     )
-    best = explorer.best(records)
-    print(f"\nbest: {best.point.label()}  PDP={best.pdp_js:.3e} Js")
-    return 0
+
+    if result.failures:
+        print("\nfailed points (skipped):", file=sys.stderr)
+        for failure in result.failures:
+            print(
+                f"  {failure.circuit}/{failure.label}: {failure.error}",
+                file=sys.stderr,
+            )
+
+    if result.records:
+        front = result.front()
+        print("\npareto front (PDP x re-execution exposure):")
+        for r in sorted(front, key=lambda r: r.pdp_js):
+            print(
+                f"  {r.circuit}/{r.point.label()}  "
+                f"PDP={r.pdp_js:.3e} Js  reexec={r.reexec_energy_j:.3e} J"
+            )
+        best = result.best()
+        print(
+            f"\nbest: {best.circuit}/{best.point.label()}  "
+            f"PDP={best.pdp_js:.3e} Js"
+        )
+    stats = result.stats
+    print(
+        f"{stats.n_points} points ({stats.n_resumed} resumed, "
+        f"{stats.n_failed} failed) in "
+        f"{stats.wall_s:.2f} s with {stats.workers} worker(s); "
+        f"{stats.synthesize_calls} synthesis runs over "
+        f"{stats.n_batches} batches"
+    )
+    return 1 if result.failures and not result.records else 0
 
 
 def cmd_fig4(_args: argparse.Namespace) -> int:
@@ -186,8 +280,52 @@ def build_parser() -> argparse.ArgumentParser:
     add_design_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
-    p_sweep = sub.add_parser("sweep", help="design-space exploration")
-    p_sweep.add_argument("circuit", help="roster name or netlist path")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="design-space exploration (parallel, cached, resumable)",
+    )
+    p_sweep.add_argument(
+        "circuits", nargs="+", help="roster names or .bench/.blif paths"
+    )
+    p_sweep.add_argument(
+        "--policies", nargs="+", type=int, default=[1, 2, 3],
+        choices=(1, 2, 3),
+    )
+    p_sweep.add_argument(
+        "--budget-scales", nargs="+", type=float, default=[0.5, 1.0, 2.0],
+        metavar="SCALE",
+    )
+    p_sweep.add_argument(
+        "--nvm", nargs="+", default=["mram"], help="mram|reram|feram|pcm"
+    )
+    p_sweep.add_argument(
+        "--criteria", nargs="+", default=["1,1,1"], metavar="L,P,F",
+        help="replacement criteria weight triples (level,power,fanio)",
+    )
+    p_sweep.add_argument(
+        "--safe-zone", choices=("both", "on", "off"), default="both"
+    )
+    p_sweep.add_argument(
+        "--threshold-scales", nargs="+", type=float, default=[1.0],
+        metavar="FACTOR",
+    )
+    p_sweep.add_argument(
+        "--safe-margin-scales", nargs="+", type=float, default=[],
+        metavar="FACTOR",
+        help="safe-zone widths relative to the derived default",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--results", metavar="FILE",
+        help="stream records to this JSON-lines file",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip points already present in --results",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     sub.add_parser("fig4", help="render the Fig. 4 timeline").set_defaults(

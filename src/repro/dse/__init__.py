@@ -1,11 +1,26 @@
-"""Design-space exploration: sweeps and pareto analysis."""
+"""Design-space exploration: sweeps, parallel engine and pareto analysis."""
 
+from repro.dse.engine import (
+    SweepEngine,
+    SweepFailure,
+    SweepResult,
+    SweepSpec,
+    SweepStats,
+)
 from repro.dse.explorer import (
     DesignPoint,
     DesignSpaceExplorer,
     ExplorationRecord,
+    SynthesisCache,
+    evaluate_point,
+    expand_points,
 )
-from repro.dse.pareto import pareto_front
+from repro.dse.pareto import pareto_front, record_front
+from repro.dse.store import (
+    JsonlResultStore,
+    record_from_dict,
+    record_to_dict,
+)
 from repro.dse.threshold_opt import (
     MarginOutcome,
     best_margin,
@@ -16,8 +31,20 @@ __all__ = [
     "DesignPoint",
     "DesignSpaceExplorer",
     "ExplorationRecord",
+    "JsonlResultStore",
     "MarginOutcome",
+    "SweepEngine",
+    "SweepFailure",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
+    "SynthesisCache",
     "best_margin",
+    "evaluate_point",
+    "expand_points",
     "pareto_front",
+    "record_front",
+    "record_from_dict",
+    "record_to_dict",
     "sweep_safe_margin",
 ]

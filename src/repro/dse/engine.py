@@ -1,0 +1,388 @@
+"""The parallel, cached, resumable sweep engine.
+
+The paper frames DIAC as a design-exploration methodology whose space
+"exponentially expands" with designs, policies and power-failure
+scenarios.  This engine is the infrastructure that makes that expansion
+tractable:
+
+* **batching** — the full-factorial point set of a :class:`SweepSpec` is
+  grouped by synthesis-stage key (circuit x policy), so every batch shares
+  one characterization/tree/policy run via
+  :class:`~repro.dse.explorer.SynthesisCache`;
+* **parallelism** — batches fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with a configurable
+  worker count; point evaluation is pure, so parallel results are
+  identical to the serial path (modulo ordering);
+* **streaming + resume** — records stream to a
+  :class:`~repro.dse.store.JsonlResultStore` as batches complete, and a
+  re-run against a partial store skips every point already on disk.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.core.diac import DiacConfig
+from repro.core.replacement import ReplacementCriteria
+from repro.dse.explorer import (
+    DesignPoint,
+    ExplorationRecord,
+    SynthesisCache,
+    evaluate_point,
+    expand_points,
+)
+from repro.dse.pareto import record_front
+from repro.dse.store import JsonlResultStore
+from repro.sim.intermittent import TraceTooWeakError
+from repro.suite.registry import load_circuit
+from repro.tech.nvm import MRAM, NvmTechnology
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Full-factorial description of one exploration run.
+
+    Attributes:
+        circuits: roster names (or keys of the ``netlists`` mapping given
+            to :meth:`SweepEngine.run`) to explore in one run.
+        policies: task-granularity policies.
+        budget_scales: barrier-budget multipliers.
+        technologies: NVM technologies.
+        criteria_sets: replacement criteria weightings.
+        safe_zones: safe-zone runtime on/off.
+        threshold_scales: uniform threshold-set scalings.
+        safe_margin_scales: safe-zone width multipliers (``None`` keeps
+            the derived default width).
+    """
+
+    circuits: tuple[str, ...] = ("s27",)
+    policies: tuple[int, ...] = (1, 2, 3)
+    budget_scales: tuple[float, ...] = (0.5, 1.0, 2.0)
+    technologies: tuple[NvmTechnology, ...] = (MRAM,)
+    criteria_sets: tuple[ReplacementCriteria, ...] = (
+        ReplacementCriteria(),
+    )
+    safe_zones: tuple[bool, ...] = (True, False)
+    threshold_scales: tuple[float, ...] = (1.0,)
+    safe_margin_scales: tuple[float | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "circuits",
+            "policies",
+            "budget_scales",
+            "technologies",
+            "criteria_sets",
+            "safe_zones",
+            "threshold_scales",
+            "safe_margin_scales",
+        ):
+            if not getattr(self, name):
+                raise ValueError(f"sweep axis {name!r} must be non-empty")
+        # Reject invalid axis values up front, not minutes into a sweep.
+        for policy in self.policies:
+            if policy not in (1, 2, 3):
+                raise ValueError(f"policy must be 1, 2 or 3, got {policy!r}")
+        for axis, values in (
+            ("budget_scales", self.budget_scales),
+            ("threshold_scales", self.threshold_scales),
+        ):
+            if any(value <= 0 for value in values):
+                raise ValueError(f"{axis} values must be positive")
+        if any(
+            scale is not None and scale <= 0
+            for scale in self.safe_margin_scales
+        ):
+            raise ValueError("safe_margin_scales values must be positive")
+
+    def points(self) -> list[tuple[str, DesignPoint]]:
+        """The full-factorial (circuit, point) list, in axis order."""
+        expanded = expand_points(
+            self.policies,
+            self.budget_scales,
+            self.technologies,
+            self.criteria_sets,
+            self.safe_zones,
+            self.threshold_scales,
+            self.safe_margin_scales,
+        )
+        return [
+            (circuit, point)
+            for circuit in self.circuits
+            for point in expanded
+        ]
+
+    def __len__(self) -> int:
+        lengths = (
+            len(self.circuits),
+            len(self.policies),
+            len(self.budget_scales),
+            len(self.technologies),
+            len(self.criteria_sets),
+            len(self.safe_zones),
+            len(self.threshold_scales),
+            len(self.safe_margin_scales),
+        )
+        total = 1
+        for n in lengths:
+            total *= n
+        return total
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """One design point that could not be evaluated.
+
+    Attributes:
+        circuit: the sweep's name for the circuit.
+        label: the failed point's display label.
+        error: the exception message.
+    """
+
+    circuit: str
+    label: str
+    error: str
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one engine run.
+
+    Attributes:
+        n_points: points in the spec.
+        n_evaluated: points evaluated this run.
+        n_resumed: points skipped because the store already had them.
+        n_failed: points that raised instead of producing a record.
+        n_batches: synthesis-stage groups fanned out.
+        synthesize_calls: actual circuit characterizations performed.
+        workers: process count used (1 == serial in-process).
+        wall_s: wall-clock duration of the run.
+    """
+
+    n_points: int = 0
+    n_evaluated: int = 0
+    n_resumed: int = 0
+    n_failed: int = 0
+    n_batches: int = 0
+    synthesize_calls: int = 0
+    workers: int = 1
+    wall_s: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """Records plus run statistics.
+
+    ``records`` contains every successful record of the spec — freshly
+    evaluated and resumed-from-store alike — ordered by the spec's point
+    order; ``failures`` lists the points that raised (an infeasible
+    safe-margin or a trace too weak for the configuration) so one bad
+    point never aborts the sweep.
+    """
+
+    records: list[ExplorationRecord] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+    failures: list[SweepFailure] = field(default_factory=list)
+
+    def best(self) -> ExplorationRecord:
+        """The PDP-optimal record.
+
+        Raises:
+            ValueError: when the result holds no records.
+        """
+        if not self.records:
+            raise ValueError("no records to choose from")
+        return min(self.records, key=lambda r: r.pdp_js)
+
+    def front(self) -> list[ExplorationRecord]:
+        """The efficiency/resiliency Pareto front of the records."""
+        return record_front(self.records)
+
+
+def _evaluate_batch(
+    circuit: str,
+    netlist: Netlist,
+    points: list[DesignPoint],
+    base_config: DiacConfig | None,
+) -> tuple[list[ExplorationRecord], int, list[SweepFailure]]:
+    """Evaluate one synthesis-stage group with a batch-local cache.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; returns
+    the records, the number of ``synthesize`` calls the batch cost
+    (exactly one when the grouping works), and any per-point failures.
+    ``circuit`` is the sweep's name for the netlist, which wins over
+    ``netlist.name`` so resume keys stay stable for file-loaded circuits.
+    """
+    cache = SynthesisCache()
+    records = []
+    failures = []
+    for point in points:
+        try:
+            record = evaluate_point(
+                netlist, point, base_config=base_config, cache=cache
+            )
+        except (ValueError, TraceTooWeakError) as error:
+            failures.append(
+                SweepFailure(
+                    circuit=circuit, label=point.label(), error=str(error)
+                )
+            )
+            continue
+        record.circuit = circuit
+        records.append(record)
+    return records, cache.synthesize_calls, failures
+
+
+class SweepEngine:
+    """Runs a :class:`SweepSpec` serially or across worker processes.
+
+    Args:
+        workers: process count; 1 (default) evaluates in-process with a
+            single shared synthesis cache, >1 fans batches out over a
+            process pool.
+        base_config: synthesis defaults shared by every point.
+        store: optional streaming result store; when given, records are
+            appended as they are produced and ``resume=True`` skips
+            points the store already holds.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        base_config: DiacConfig | None = None,
+        store: JsonlResultStore | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.base_config = base_config
+        self.store = store
+
+    def run(
+        self,
+        spec: SweepSpec,
+        netlists: dict[str, Netlist] | None = None,
+        resume: bool = False,
+    ) -> SweepResult:
+        """Execute the sweep.
+
+        Args:
+            spec: the exploration space.
+            netlists: circuit name -> netlist mapping; roster names are
+                loaded automatically when omitted.
+            resume: skip points already present in the result store.
+                Resume keys cover the circuit and the exact design point
+                but NOT ``base_config`` — resuming a store written under
+                a different base configuration silently mixes results,
+                so keep one store per base configuration.
+
+        Returns:
+            A :class:`SweepResult` with every record of the spec (fresh
+            and resumed) in spec order, plus run statistics.
+
+        Raises:
+            KeyError: for a circuit neither in ``netlists`` nor on the
+                benchmark roster.
+        """
+        start = time.perf_counter()
+        netlists = dict(netlists or {})
+        for name in spec.circuits:
+            if name not in netlists:
+                netlists[name] = load_circuit(name)
+
+        # Dedupe repeated axis values (e.g. the same circuit listed
+        # twice): one evaluation, one record, consistent stats.
+        tasks = []
+        seen: set[tuple] = set()
+        for circuit, point in spec.points():
+            key = (circuit, *point.identity())
+            if key not in seen:
+                seen.add(key)
+                tasks.append((circuit, point))
+        stats = SweepStats(n_points=len(tasks), workers=self.workers)
+
+        resumed: dict[tuple, ExplorationRecord] = {}
+        if resume and self.store is not None:
+            on_disk = {r.key(): r for r in self.store.load()}
+            wanted = {
+                (circuit, *point.identity()) for circuit, point in tasks
+            }
+            resumed = {k: v for k, v in on_disk.items() if k in wanted}
+        pending = [
+            (circuit, point)
+            for circuit, point in tasks
+            if (circuit, *point.identity()) not in resumed
+        ]
+        stats.n_resumed = len(tasks) - len(pending)
+
+        # Batch by synthesis-stage group (circuit x policy) so each batch
+        # shares one characterization/tree/policy run.
+        groups: dict[tuple[str, int], list[DesignPoint]] = {}
+        for circuit, point in pending:
+            groups.setdefault((circuit, point.policy), []).append(point)
+        stats.n_batches = len(groups)
+
+        fresh: dict[tuple, ExplorationRecord] = {}
+        failures: list[SweepFailure] = []
+        if self.workers == 1:
+            # One cache per circuit key: the stage memo is keyed on
+            # netlist.name, and two file-loaded circuits may share a name.
+            caches = {circuit: SynthesisCache() for circuit in netlists}
+            for circuit, point in pending:
+                try:
+                    record = evaluate_point(
+                        netlists[circuit],
+                        point,
+                        base_config=self.base_config,
+                        cache=caches[circuit],
+                    )
+                except (ValueError, TraceTooWeakError) as error:
+                    failures.append(
+                        SweepFailure(
+                            circuit=circuit,
+                            label=point.label(),
+                            error=str(error),
+                        )
+                    )
+                    continue
+                record.circuit = circuit
+                fresh[record.key()] = record
+                if self.store is not None:
+                    self.store.append(record)
+            stats.synthesize_calls = sum(
+                cache.synthesize_calls for cache in caches.values()
+            )
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(
+                        _evaluate_batch, circuit, netlists[circuit],
+                        points, self.base_config,
+                    )
+                    for (circuit, _policy), points in groups.items()
+                ]
+                # Persist batches as they finish, not in submission order,
+                # so a kill mid-run loses at most the in-flight batches.
+                for future in as_completed(futures):
+                    records, synth_calls, batch_failures = future.result()
+                    stats.synthesize_calls += synth_calls
+                    failures.extend(batch_failures)
+                    for record in records:
+                        fresh[record.key()] = record
+                    if self.store is not None:
+                        self.store.extend(records)
+
+        stats.n_evaluated = len(fresh)
+        stats.n_failed = len(failures)
+        ordered = []
+        for circuit, point in tasks:
+            record = resumed.get((circuit, *point.identity())) or fresh.get(
+                (circuit, *point.identity())
+            )
+            if record is not None:
+                ordered.append(record)
+        stats.wall_s = time.perf_counter() - start
+        return SweepResult(records=ordered, stats=stats, failures=failures)

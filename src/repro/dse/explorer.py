@@ -1,12 +1,22 @@
-"""Design-space exploration driver.
+"""Design-space exploration: points, records and pure point evaluation.
 
 The paper motivates DIAC as a *design exploration* methodology:
 "Incorporating tree-based representations, different designs, and power
 failure scenarios will exponentially expand the design space.  This will
-necessitate an efficient, precise, automated design tool."  The explorer
-sweeps the DIAC knobs — policy, barrier budget, criteria weights, NVM
-technology, safe-zone margin — evaluates each point with the intermittent
-executor, and reports the efficiency/resiliency landscape.
+necessitate an efficient, precise, automated design tool."  This module
+defines the design-space vocabulary — :class:`DesignPoint`,
+:class:`ExplorationRecord` — and a *pure* evaluation function,
+:func:`evaluate_point`, that maps (netlist, point) to a record without
+mutating any shared state.  The parallel sweep machinery lives in
+:mod:`repro.dse.engine`.
+
+Evaluating a point runs the full DIAC pipeline, but its front half —
+synthesis characterization, tree generation, policy shaping — depends only
+on ``(netlist, policy, granularity, activity, split/merge bounds)``, not on
+the budget/criteria/safe-zone/threshold knobs.  :class:`SynthesisCache`
+memoizes that stage so the N budget/criteria variants of one policy share a
+single :class:`~repro.tech.synthesis.SynthesisReport` and shaped task graph
+instead of re-synthesizing the circuit N times.
 """
 
 from __future__ import annotations
@@ -14,29 +24,79 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field, replace
 
+from repro.baselines.schemes import profile_diac
 from repro.circuits.netlist import Netlist
-from repro.core.diac import DiacConfig, DiacSynthesizer
-from repro.core.replacement import ReplacementCriteria
-from repro.evaluation import evaluate_design
+from repro.core.codegen import generate_code
+from repro.core.diac import DiacConfig, DiacDesign, DiacSynthesizer
+from repro.core.policies import PolicyConfig, apply_policy, config_for_graph
+from repro.core.replacement import ReplacementCriteria, insert_nvm
+from repro.core.tree import TaskGraph
+from repro.core.tree_generator import build_task_graph
+from repro.evaluation import build_environment, evaluate_design
 from repro.tech.nvm import MRAM, NvmTechnology
+from repro.tech.synthesis import SynthesisReport, synthesize
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One configuration in the sweep."""
+    """One configuration in the sweep.
+
+    Attributes:
+        policy: task-granularity policy (1, 2 or 3).
+        budget_scale: barrier budget relative to the derived default.
+        technology: NVM technology of the backup path.
+        criteria: replacement criteria weights.
+        use_safe_zone: optimized-DIAC runtime when True.
+        threshold_scale: uniform scaling of the evaluation threshold set
+            (applied via :meth:`~repro.energy.thresholds.ThresholdSet.scaled`).
+        safe_margin_scale: safe-zone width relative to the derived
+            default margin (``None`` keeps the default width; applied via
+            :meth:`~repro.energy.thresholds.ThresholdSet.with_safe_margin`).
+    """
 
     policy: int = 3
     budget_scale: float = 1.0
     technology: NvmTechnology = MRAM
     criteria: ReplacementCriteria = field(default_factory=ReplacementCriteria)
     use_safe_zone: bool = True
+    threshold_scale: float = 1.0
+    safe_margin_scale: float | None = None
+
+    def identity(self) -> tuple:
+        """Exact-value identity of this configuration.
+
+        Unlike :meth:`label`, which rounds floats for display, this
+        tuple preserves full precision — it is the key resume and
+        deduplication rely on.
+        """
+        c = self.criteria
+        return (
+            self.policy,
+            self.budget_scale,
+            self.technology.name,
+            c.level_weight,
+            c.power_weight,
+            c.fanio_weight,
+            self.use_safe_zone,
+            self.threshold_scale,
+            self.safe_margin_scale,
+        )
 
     def label(self) -> str:
-        """Compact human-readable identifier."""
-        return (
-            f"P{self.policy}/b{self.budget_scale:g}/"
-            f"{self.technology.name}/{'safe' if self.use_safe_zone else 'nosafe'}"
-        )
+        """Compact human-readable identifier (rounded for display)."""
+        c = self.criteria
+        parts = [
+            f"P{self.policy}",
+            f"b{self.budget_scale:g}",
+            self.technology.name,
+            "safe" if self.use_safe_zone else "nosafe",
+            f"c{c.level_weight:g},{c.power_weight:g},{c.fanio_weight:g}",
+        ]
+        if self.threshold_scale != 1.0:
+            parts.append(f"t{self.threshold_scale:g}")
+        if self.safe_margin_scale is not None:
+            parts.append(f"m{self.safe_margin_scale:g}")
+        return "/".join(parts)
 
 
 @dataclass
@@ -52,6 +112,7 @@ class ExplorationRecord:
         reexec_energy_j: re-executed work (resiliency proxy — lower means
             less progress is ever at risk).
         n_barriers: barriers the replacement step placed.
+        circuit: name of the evaluated circuit.
     """
 
     point: DesignPoint
@@ -61,10 +122,214 @@ class ExplorationRecord:
     n_backups: int
     reexec_energy_j: float
     n_barriers: int
+    circuit: str = ""
+
+    def key(self) -> tuple:
+        """Identity of this record inside a sweep: circuit + exact point.
+
+        Built on :meth:`DesignPoint.identity` (full float precision), not
+        the display label, so near-identical axis values never collide.
+        """
+        return (self.circuit, *self.point.identity())
+
+
+#: Cached front half of the pipeline: characterization report, shaped task
+#: graph, derived policy bounds.
+_Stage = tuple[SynthesisReport, TaskGraph, PolicyConfig]
+
+
+class SynthesisCache:
+    """Memoizes the synthesis stage of point evaluation.
+
+    Keyed on ``(netlist name, policy, granularity, activity, split/merge
+    fractions)`` — everything the front half of the pipeline depends on.
+    ``insert_nvm`` clones the graph it is given, so one cached shaped graph
+    is safely shared by every downstream replacement run.
+    """
+
+    def __init__(self) -> None:
+        self._stages: dict[tuple, _Stage] = {}
+        #: Number of cache misses == actual ``synthesize`` invocations.
+        self.synthesize_calls = 0
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    @staticmethod
+    def stage_key(netlist: Netlist, config: DiacConfig) -> tuple:
+        """The memoization key for one (netlist, config) combination."""
+        return (
+            netlist.name,
+            config.policy,
+            config.granularity,
+            config.activity,
+            config.split_fraction,
+            config.merge_fraction,
+        )
+
+    def stage_for(self, netlist: Netlist, config: DiacConfig) -> _Stage:
+        """Return the cached front-half stage, computing it on a miss."""
+        key = self.stage_key(netlist, config)
+        stage = self._stages.get(key)
+        if stage is None:
+            self.synthesize_calls += 1
+            report = synthesize(netlist, activity=config.activity)
+            graph = build_task_graph(
+                netlist, report=report, granularity=config.granularity
+            )
+            policy_config = config_for_graph(
+                graph,
+                split_fraction=config.split_fraction,
+                merge_fraction=config.merge_fraction,
+            )
+            shaped = apply_policy(graph, config.policy, policy_config)
+            stage = (report, shaped, policy_config)
+            self._stages[key] = stage
+        return stage
+
+
+def _point_config(base: DiacConfig, point: DesignPoint) -> DiacConfig:
+    """The synthesis configuration a point resolves to."""
+    return replace(
+        base,
+        policy=point.policy,
+        technology=point.technology,
+        criteria=point.criteria,
+        use_safe_zone=point.use_safe_zone,
+    )
+
+
+def evaluate_point(
+    netlist: Netlist,
+    point: DesignPoint,
+    base_config: DiacConfig | None = None,
+    cache: SynthesisCache | None = None,
+) -> ExplorationRecord:
+    """Synthesize and execute one design point — side-effect-free.
+
+    Neither ``netlist``, ``base_config`` nor any shared synthesizer state
+    is mutated; repeated calls with the same arguments return identical
+    records, which is what lets the sweep engine fan evaluations out over
+    worker processes and compare serial and parallel runs bit-for-bit.
+
+    Args:
+        netlist: the design under exploration.
+        point: the configuration to evaluate.
+        base_config: defaults shared by all points of a sweep.
+        cache: optional synthesis-stage memo shared across points.
+
+    Returns:
+        The :class:`ExplorationRecord` for ``(netlist, point)``.
+    """
+    base = base_config or DiacConfig()
+    config = _point_config(base, point)
+    if cache is None:  # NB: an empty cache is falsy (it has __len__).
+        cache = SynthesisCache()
+    report, shaped, policy_config = cache.stage_for(netlist, config)
+
+    budget = point.budget_scale * DiacSynthesizer(config).derive_budget_j(
+        netlist
+    )
+    config = replace(config, budget_j=budget)
+    plan = insert_nvm(
+        shaped, budget, technology=config.technology, criteria=config.criteria
+    )
+    code = generate_code(plan, target_period_s=config.target_period_s)
+    if config.validate:
+        code.roundtrip_check()
+    design = DiacDesign(
+        netlist=netlist,
+        report=report,
+        graph=plan.graph,
+        plan=plan,
+        code=code,
+        config=config,
+        policy_config=policy_config,
+    )
+
+    env = build_environment(design)
+    thresholds = env.thresholds
+    if point.safe_margin_scale is not None:
+        thresholds = thresholds.with_safe_margin(
+            point.safe_margin_scale * thresholds.safe_zone_margin_j
+        )
+    if point.threshold_scale != 1.0:
+        thresholds = thresholds.scaled(point.threshold_scale)
+    if thresholds.compute_j > env.e_max_j:
+        # The capacitor cannot reach Th_Cp: the executor would either
+        # conjure energy past capacity or spin to a spurious trace
+        # failure.  Reject the point instead.
+        raise ValueError(
+            f"threshold_scale {point.threshold_scale:g} puts Th_Cp "
+            f"({thresholds.compute_j:.3e} J) above the capacitor "
+            f"capacity ({env.e_max_j:.3e} J)"
+        )
+    if thresholds is not env.thresholds:
+        env = replace(env, thresholds=thresholds)
+
+    # Simulate only the scheme this record reads — the four-scheme
+    # comparison is the evaluation harness's job, not the sweep's.
+    profile = profile_diac(design, optimized=point.use_safe_zone)
+    evaluation = evaluate_design(design, environment=env, profiles=[profile])
+    result = evaluation.results[profile.name]
+    return ExplorationRecord(
+        point=point,
+        pdp_js=result.pdp_js,
+        energy_j=result.total_energy_j,
+        active_time_s=result.active_time_s,
+        n_backups=result.n_backups,
+        reexec_energy_j=result.reexec_energy_j,
+        n_barriers=design.plan.n_barriers,
+        circuit=netlist.name,
+    )
+
+
+def expand_points(
+    policies: tuple[int, ...],
+    budget_scales: tuple[float, ...],
+    technologies: tuple[NvmTechnology, ...],
+    criteria_sets: tuple[ReplacementCriteria, ...],
+    safe_zones: tuple[bool, ...],
+    threshold_scales: tuple[float, ...],
+    safe_margin_scales: tuple[float | None, ...],
+) -> list[DesignPoint]:
+    """Full-factorial expansion of the sweep axes, in canonical order.
+
+    The single expansion shared by :meth:`DesignSpaceExplorer.sweep` and
+    :meth:`repro.dse.engine.SweepSpec.points`, so a new axis only ever
+    needs threading through one product.
+    """
+    return [
+        DesignPoint(
+            policy=policy,
+            budget_scale=scale,
+            technology=tech,
+            criteria=crit,
+            use_safe_zone=safe,
+            threshold_scale=th_scale,
+            safe_margin_scale=margin,
+        )
+        for policy, scale, tech, crit, safe, th_scale, margin in (
+            itertools.product(
+                policies,
+                budget_scales,
+                technologies,
+                criteria_sets,
+                safe_zones,
+                threshold_scales,
+                safe_margin_scales,
+            )
+        )
+    ]
 
 
 class DesignSpaceExplorer:
-    """Sweep DIAC configurations over one circuit.
+    """Sweep DIAC configurations over one circuit, serially.
+
+    A thin convenience wrapper over :func:`evaluate_point` with a
+    per-instance :class:`SynthesisCache`; multi-circuit, parallel and
+    resumable sweeps are the job of
+    :class:`repro.dse.engine.SweepEngine`.
 
     Args:
         netlist: the design under exploration.
@@ -77,32 +342,12 @@ class DesignSpaceExplorer:
     ) -> None:
         self.netlist = netlist
         self.base_config = base_config or DiacConfig()
+        self.cache = SynthesisCache()
 
     def evaluate_point(self, point: DesignPoint) -> ExplorationRecord:
         """Synthesize and execute one design point."""
-        synthesizer = DiacSynthesizer(
-            replace(
-                self.base_config,
-                policy=point.policy,
-                technology=point.technology,
-                criteria=point.criteria,
-                use_safe_zone=point.use_safe_zone,
-            )
-        )
-        budget = point.budget_scale * synthesizer.derive_budget_j(self.netlist)
-        synthesizer.config = replace(synthesizer.config, budget_j=budget)
-        design = synthesizer.run(self.netlist)
-        evaluation = evaluate_design(design)
-        scheme = "Optimized DIAC" if point.use_safe_zone else "DIAC"
-        result = evaluation.results[scheme]
-        return ExplorationRecord(
-            point=point,
-            pdp_js=result.pdp_js,
-            energy_j=result.total_energy_j,
-            active_time_s=result.active_time_s,
-            n_backups=result.n_backups,
-            reexec_energy_j=result.reexec_energy_j,
-            n_barriers=design.plan.n_barriers,
+        return evaluate_point(
+            self.netlist, point, base_config=self.base_config, cache=self.cache
         )
 
     def sweep(
@@ -111,20 +356,23 @@ class DesignSpaceExplorer:
         budget_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
         technologies: tuple[NvmTechnology, ...] = (MRAM,),
         safe_zones: tuple[bool, ...] = (True, False),
+        criteria_sets: tuple[ReplacementCriteria, ...] = (
+            ReplacementCriteria(),
+        ),
+        threshold_scales: tuple[float, ...] = (1.0,),
+        safe_margin_scales: tuple[float | None, ...] = (None,),
     ) -> list[ExplorationRecord]:
         """Full-factorial sweep over the given axes."""
-        records = []
-        for policy, scale, tech, safe in itertools.product(
-            policies, budget_scales, technologies, safe_zones
-        ):
-            point = DesignPoint(
-                policy=policy,
-                budget_scale=scale,
-                technology=tech,
-                use_safe_zone=safe,
-            )
-            records.append(self.evaluate_point(point))
-        return records
+        points = expand_points(
+            policies,
+            budget_scales,
+            technologies,
+            criteria_sets,
+            safe_zones,
+            threshold_scales,
+            safe_margin_scales,
+        )
+        return [self.evaluate_point(point) for point in points]
 
     def best(self, records: list[ExplorationRecord]) -> ExplorationRecord:
         """The PDP-optimal record."""

@@ -8,7 +8,10 @@ two (paper Fig. 2 discussion).  The DSE reports the non-dominated set over
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:
+    from repro.dse.explorer import ExplorationRecord
 
 T = TypeVar("T")
 
@@ -47,3 +50,21 @@ def pareto_front(
         ):
             front.append(item)
     return front
+
+
+def record_front(
+    records: Sequence["ExplorationRecord"],
+) -> list["ExplorationRecord"]:
+    """The efficiency/resiliency front of a sweep's records.
+
+    Non-dominated set under minimized ``pdp_js`` (efficiency) and
+    ``reexec_energy_j`` (resiliency exposure) — the two-axis trade-off the
+    three granularity policies navigate (paper Fig. 2).
+    """
+    return pareto_front(
+        records,
+        objectives=[
+            lambda r: r.pdp_js,
+            lambda r: r.reexec_energy_j,
+        ],
+    )

@@ -1,0 +1,120 @@
+"""Streaming result store for design-space sweeps.
+
+Exploration records stream to a JSON-lines file as they are produced, so a
+killed or crashed sweep loses at most the in-flight batch.  On restart the
+engine loads the partial file, skips every point already on disk, and
+appends only the remainder — resume-from-partial at the granularity of a
+single design point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.replacement import ReplacementCriteria
+from repro.dse.explorer import DesignPoint, ExplorationRecord
+from repro.tech.nvm import get_technology
+
+
+def record_to_dict(record: ExplorationRecord) -> dict:
+    """Serialize one record to a JSON-compatible dict."""
+    point = record.point
+    criteria = point.criteria
+    return {
+        "circuit": record.circuit,
+        "point": {
+            "policy": point.policy,
+            "budget_scale": point.budget_scale,
+            "technology": point.technology.name,
+            "criteria": {
+                "level_weight": criteria.level_weight,
+                "power_weight": criteria.power_weight,
+                "fanio_weight": criteria.fanio_weight,
+            },
+            "use_safe_zone": point.use_safe_zone,
+            "threshold_scale": point.threshold_scale,
+            "safe_margin_scale": point.safe_margin_scale,
+        },
+        "pdp_js": record.pdp_js,
+        "energy_j": record.energy_j,
+        "active_time_s": record.active_time_s,
+        "n_backups": record.n_backups,
+        "reexec_energy_j": record.reexec_energy_j,
+        "n_barriers": record.n_barriers,
+    }
+
+
+def record_from_dict(data: dict) -> ExplorationRecord:
+    """Rebuild a record from :func:`record_to_dict` output.
+
+    Raises:
+        KeyError: on a malformed dict or unknown technology name.
+    """
+    point_data = data["point"]
+    point = DesignPoint(
+        policy=point_data["policy"],
+        budget_scale=point_data["budget_scale"],
+        technology=get_technology(point_data["technology"]),
+        criteria=ReplacementCriteria(**point_data["criteria"]),
+        use_safe_zone=point_data["use_safe_zone"],
+        threshold_scale=point_data["threshold_scale"],
+        safe_margin_scale=point_data["safe_margin_scale"],
+    )
+    return ExplorationRecord(
+        point=point,
+        pdp_js=data["pdp_js"],
+        energy_j=data["energy_j"],
+        active_time_s=data["active_time_s"],
+        n_backups=data["n_backups"],
+        reexec_energy_j=data["reexec_energy_j"],
+        n_barriers=data["n_barriers"],
+        circuit=data["circuit"],
+    )
+
+
+class JsonlResultStore:
+    """Append-only JSON-lines store for exploration records.
+
+    Args:
+        path: file to stream records to (created on first append).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: ExplorationRecord) -> None:
+        """Append one record, flushed to disk immediately."""
+        line = json.dumps(record_to_dict(record), sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def extend(self, records: list[ExplorationRecord]) -> None:
+        """Append many records in one write."""
+        if not records:
+            return
+        lines = [
+            json.dumps(record_to_dict(r), sort_keys=True) for r in records
+        ]
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def load(self) -> list[ExplorationRecord]:
+        """All records currently on disk (empty list if the file is new).
+
+        Truncated trailing lines (a crash mid-write) are skipped rather
+        than failing the resume.
+        """
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(record_from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError):
+                    continue
+        return records

@@ -60,21 +60,25 @@ class HarvestTrace:
         """The paper's V_peak analogue: the strongest segment."""
         return max(s.power_w for s in self.segments)
 
+    def _index_at(self, local_s: float) -> int:
+        """Index of the segment containing cycle-local time ``local_s``."""
+        lo, hi = 0, len(self.segments) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._starts[mid] <= local_s + 1e-15:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
     def segment_at(self, t_s: float) -> tuple[HarvestSegment, float]:
         """Segment active at absolute time ``t_s`` and time left in it."""
         if t_s < 0:
             raise ValueError("time must be non-negative")
         local = math.fmod(t_s, self.period_s)
-        # Binary search over starts.
-        lo, hi = 0, len(self.segments) - 1
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if self._starts[mid] <= local + 1e-15:
-                lo = mid
-            else:
-                hi = mid - 1
-        seg = self.segments[lo]
-        remaining = self._starts[lo] + seg.duration_s - local
+        idx = self._index_at(local)
+        seg = self.segments[idx]
+        remaining = self._starts[idx] + seg.duration_s - local
         return seg, max(remaining, 1e-15)
 
     def power_at(self, t_s: float) -> float:
@@ -83,16 +87,31 @@ class HarvestTrace:
         return seg.power_w
 
     def energy_between(self, t0_s: float, t1_s: float) -> float:
-        """Harvested energy over ``[t0, t1]`` (exact piecewise integral)."""
+        """Harvested energy over ``[t0, t1]`` (exact piecewise integral).
+
+        Integrates whole cycles in closed form and walks the segment list
+        by index for the remainder, so the iteration count is bounded by
+        the segment count.  (A time-stepping loop is not safe here: near a
+        segment boundary the residual ``remaining`` can round below one
+        ulp of ``t`` and ``t += remaining`` stops advancing.)
+        """
         if t1_s < t0_s:
             raise ValueError("t1 must be >= t0")
-        total = 0.0
-        t = t0_s
-        while t < t1_s - 1e-15:
-            seg, remaining = self.segment_at(t)
-            dt = min(remaining, t1_s - t)
-            total += seg.power_w * dt
-            t += dt
+        span = t1_s - t0_s
+        if span <= 0.0:
+            return 0.0
+        full_cycles = math.floor(span / self.period_s)
+        total = full_cycles * self.cycle_energy_j
+        span -= full_cycles * self.period_s
+        _seg, remaining = self.segment_at(t0_s)
+        idx = self._index_at(math.fmod(t0_s, self.period_s))
+        available = remaining
+        while span > 1e-15:
+            dt = min(available, span)
+            total += self.segments[idx].power_w * dt
+            span -= dt
+            idx = (idx + 1) % len(self.segments)
+            available = self.segments[idx].duration_s
         return total
 
     def scaled(self, power_factor: float = 1.0, time_factor: float = 1.0) -> "HarvestTrace":

@@ -22,6 +22,10 @@ from repro.calibration import (
     THRESHOLD_FRACTIONS,
 )
 
+#: Minimum spacing (as a fraction of ``e_max_j``) kept between cascaded
+#: thresholds by :meth:`ThresholdSet.with_safe_margin`.
+_CASCADE_GAP_FRACTION = 1e-9
+
 
 @dataclass(frozen=True)
 class ThresholdSet:
@@ -128,14 +132,46 @@ class ThresholdSet:
             e_max_j=self.e_max_j * factor,
         )
 
+    def max_safe_margin_j(self) -> float:
+        """Largest admissible safe-zone width for :meth:`with_safe_margin`.
+
+        Bounded by the storage capacity: even after cascading sense/
+        compute/transmit upward, Th_Tr must stay at or below ``e_max_j``.
+        """
+        gap = _CASCADE_GAP_FRACTION * self.e_max_j
+        return self.e_max_j - self.backup_j - 3.0 * gap
+
     def with_safe_margin(self, margin_j: float) -> "ThresholdSet":
-        """Return a copy with a different safe-zone width (ablation knob)."""
+        """Return a copy with a different safe-zone width (ablation knob).
+
+        Widening the zone past an upper threshold cascades that threshold
+        (and any above it) upward so the ordering invariant keeps holding.
+
+        Raises:
+            ValueError: for a non-positive margin, or one so wide that the
+                cascade would push Th_Tr past the storage capacity; the
+                message names the maximum admissible margin.
+        """
+        if margin_j <= 0:
+            raise ValueError("safe-zone margin must be positive")
+        limit = self.max_safe_margin_j()
+        if margin_j > limit:
+            raise ValueError(
+                f"safe-zone margin {margin_j:.6g} J pushes Th_Tr past "
+                f"e_max ({self.e_max_j:.6g} J); the maximum admissible "
+                f"margin for this threshold set is {limit:.6g} J"
+            )
+        gap = _CASCADE_GAP_FRACTION * self.e_max_j
+        safe = self.backup_j + margin_j
+        sense = max(self.sense_j, safe + gap)
+        compute = max(self.compute_j, sense + gap)
+        transmit = max(self.transmit_j, compute + gap)
         return ThresholdSet(
             off_j=self.off_j,
             backup_j=self.backup_j,
-            safe_j=self.backup_j + margin_j,
-            sense_j=max(self.sense_j, self.backup_j + margin_j + 1e-18),
-            compute_j=self.compute_j,
-            transmit_j=self.transmit_j,
+            safe_j=safe,
+            sense_j=sense,
+            compute_j=compute,
+            transmit_j=transmit,
             e_max_j=self.e_max_j,
         )

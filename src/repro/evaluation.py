@@ -135,9 +135,19 @@ def evaluate_design(
     name: str | None = None,
     suite: str | None = None,
     profiles: list[SchemeProfile] | None = None,
+    environment: Environment | None = None,
 ) -> CircuitEvaluation:
-    """Run the four-scheme comparison for one synthesized design."""
-    env = build_environment(design)
+    """Run the four-scheme comparison for one synthesized design.
+
+    Args:
+        design: the synthesized design under test.
+        name: circuit name override (defaults to the netlist name).
+        suite: suite label override.
+        profiles: scheme profiles to run (all four when omitted).
+        environment: evaluation environment override — the DSE uses this
+            to apply threshold scaling without re-deriving the capacitor.
+    """
+    env = environment or build_environment(design)
     circuit_name = name or design.netlist.name
     info = BY_NAME.get(circuit_name)
     evaluation = CircuitEvaluation(

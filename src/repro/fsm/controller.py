@@ -13,7 +13,7 @@ behind Fig. 4 — plus event markers and operation counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.calibration import (
     E_COMPUTE_J,

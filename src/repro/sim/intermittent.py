@@ -28,7 +28,7 @@ Scheme semantics (Section IV-B):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.calibration import (
     INITIAL_ENERGY_FRACTION,
@@ -109,7 +109,12 @@ class ExecutionResult:
         total_energy_j: all energy consumed (work + overheads + re-exec).
         active_time_s: busy time — compute + commit + restore (stall and
             charging time excluded).
-        wall_time_s: total simulated time.
+        wall_time_s: total simulated time.  On completed runs this is the
+            full simulated span of the macro task.  On a result captured
+            mid-run (``completed`` False — e.g. observed through an
+            executor hook before :class:`TraceTooWeakError` is raised) it
+            is the simulated time of the *last recorded event* and may lag
+            the executor's internal clock.
         n_dips / n_backups / n_restores / n_safe_recoveries: event counts.
         nvm_bits_written / nvm_bits_read: NVM traffic.
         reexec_energy_j: work redone after power cycles.
@@ -132,9 +137,9 @@ class ExecutionResult:
 
     @property
     def pdp_js(self) -> float:
-        """Power-delay product: average active power x active time^2 ==
-        (energy) x (active time).  Any monotone consistent definition
-        preserves the normalized comparison of Fig. 5."""
+        """Power-delay product: total consumed energy x active time
+        (``total_energy_j * active_time_s``).  Any monotone consistent
+        definition preserves the normalized comparison of Fig. 5."""
         return self.total_energy_j * self.active_time_s
 
     @property
@@ -246,7 +251,7 @@ class IntermittentExecutor:
                     dt = min(seg_remaining, (work_target_j - work) / p_active)
                     e = min(e + p_net * dt, self.e_max_j)
                 else:
-                    t_deplete = (e - th.safe_j) / (-p_net)
+                    t_deplete = max(0.0, e - th.safe_j) / (-p_net)
                     dt = min(
                         seg_remaining,
                         t_deplete,
@@ -301,14 +306,29 @@ class IntermittentExecutor:
                 continue
 
             # mode == "charge": recharging after a backup (volatile lost).
+            # The restore itself must be paid for: recharge past Th_Cp by
+            # the restore energy (capped at capacity) so the system re-
+            # enters the active zone at Th_Cp, never below Th_SafeZone —
+            # otherwise t_deplete would go negative and regress time.
             if p_in > 0:
-                t_resume = (th.compute_j - e) / p_in
+                resume_e = min(th.compute_j + restore_e, self.e_max_j)
+                if resume_e - restore_e < th.safe_j:
+                    # Even a full capacitor cannot pay the restore and
+                    # leave the system inside the operating zone — fail
+                    # loudly rather than conjure energy.
+                    raise TraceTooWeakError(
+                        f"{profile.name}: restore cost {restore_e:.3e} J "
+                        f"cannot be paid from the {self.e_max_j:.3e} J "
+                        f"capacitor without dropping below Th_SafeZone "
+                        f"({th.safe_j:.3e} J)"
+                    )
+                t_resume = (resume_e - e) / p_in
                 if t_resume <= seg_remaining:
                     t += t_resume
-                    e = th.compute_j
+                    e = resume_e
                     # Restore + re-execute the uncommitted tail.
                     self._restore(result, restore_e, restore_t)
-                    e = max(e - restore_e, 0.0)
+                    e = e - restore_e
                     # The uncommitted tail re-executes: regressing `work`
                     # makes the active phase redo it, re-accounting both
                     # its energy and its time.

@@ -114,5 +114,9 @@ class TestAsciiPlots:
 
     def test_bar_chart_relative_lengths(self):
         text = bar_chart({"g": {"big": 1.0, "small": 0.25}}, width=40)
-        lines = {l.split("|")[0].strip(): l for l in text.splitlines() if "|" in l}
+        lines = {
+            row.split("|")[0].strip(): row
+            for row in text.splitlines()
+            if "|" in row
+        }
         assert lines["big"].count("#") > lines["small"].count("#")

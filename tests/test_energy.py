@@ -95,6 +95,36 @@ class TestThresholds:
         th = ThresholdSet.paper_defaults().with_safe_margin(1e-3)
         assert th.safe_zone_margin_j == pytest.approx(1e-3)
 
+    def test_with_safe_margin_cascades_upper_thresholds(self):
+        # 10 mJ pushes Th_SafeZone (13 mJ) past Th_Se (6) and Th_Cp (8):
+        # the bump must cascade so the ordering invariant keeps holding.
+        base = ThresholdSet.paper_defaults()
+        wide = base.with_safe_margin(10e-3)
+        assert wide.safe_j == pytest.approx(base.backup_j + 10e-3)
+        assert wide.safe_j < wide.sense_j < wide.compute_j < wide.transmit_j
+        assert wide.transmit_j <= wide.e_max_j
+
+    def test_with_safe_margin_small_margin_leaves_uppers_alone(self):
+        base = ThresholdSet.paper_defaults()
+        narrow = base.with_safe_margin(1e-3)
+        assert narrow.sense_j == base.sense_j
+        assert narrow.compute_j == base.compute_j
+        assert narrow.transmit_j == base.transmit_j
+
+    def test_with_safe_margin_too_wide_names_limit(self):
+        base = ThresholdSet.paper_defaults()
+        with pytest.raises(ValueError, match="maximum admissible margin"):
+            base.with_safe_margin(base.e_max_j)
+
+    def test_with_safe_margin_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ThresholdSet.paper_defaults().with_safe_margin(0.0)
+
+    def test_max_safe_margin_is_admissible(self):
+        base = ThresholdSet.paper_defaults()
+        widest = base.with_safe_margin(base.max_safe_margin_j())
+        assert widest.transmit_j <= widest.e_max_j
+
     def test_invalid_ordering_rejected(self):
         with pytest.raises(ValueError):
             ThresholdSet(
@@ -140,6 +170,33 @@ class TestHarvestTrace:
         assert trace.energy_between(0.0, 2.0) == pytest.approx(10.0)
         assert trace.energy_between(0.5, 1.5) == pytest.approx(5.0)
         assert trace.energy_between(0.0, 4.0) == pytest.approx(20.0)
+
+    def test_energy_between_terminates_at_ulp_boundary(self):
+        # Regression: near a segment boundary the residual time can round
+        # below one ulp of t, so a time-stepping integral never advances
+        # (seed code livelocked here).  The input pins a concrete case
+        # where segment_at's remaining is ~1.8e-15 yet t0 + remaining ==
+        # t0 in float arithmetic.
+        durations = (
+            0.5500969864574192,
+            2.556414431889783,
+            4.255417452772618,
+            2.028496411081526,
+        )
+        trace = HarvestTrace(
+            [
+                HarvestSegment(d, 1e-3 * (i + 1))
+                for i, d in enumerate(durations)
+            ]
+        )
+        t0 = float.fromhex("0x1.0c09a48238630p+4")
+        assert t0 + trace.segment_at(t0)[1] == t0  # the pathological setup
+        whole = trace.energy_between(t0, t0 + 5.0)
+        mid = t0 + 2.5
+        split = trace.energy_between(t0, mid) + trace.energy_between(
+            mid, t0 + 5.0
+        )
+        assert whole == pytest.approx(split)
 
     def test_mean_and_peak(self):
         trace = HarvestTrace(

@@ -8,7 +8,6 @@ from repro.circuits import (
     BenchParseError,
     BlifParseError,
     GateType,
-    S27_BENCH,
     parse_bench,
     parse_blif,
     write_bench,

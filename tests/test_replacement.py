@@ -11,7 +11,7 @@ from repro.core import (
     insert_nvm,
 )
 from repro.core.replacement import live_cut_profile, schedule_order
-from repro.tech import MRAM, RERAM
+from repro.tech import RERAM
 
 
 class TestCriteria:

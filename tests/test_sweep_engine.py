@@ -1,0 +1,367 @@
+"""Tests for the parallel, cached, resumable sweep engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.replacement import ReplacementCriteria
+from repro.dse import (
+    DesignPoint,
+    JsonlResultStore,
+    SweepEngine,
+    SweepSpec,
+    SynthesisCache,
+    evaluate_point,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.suite import load_circuit
+from repro.tech import MRAM, RERAM
+
+
+def record_fingerprint(record):
+    return (
+        record.circuit,
+        record.point.label(),
+        record.pdp_js,
+        record.energy_j,
+        record.active_time_s,
+        record.n_backups,
+        record.reexec_energy_j,
+        record.n_barriers,
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_circuit_spec() -> SweepSpec:
+    """A 36-point spec spanning two circuits and every policy."""
+    return SweepSpec(
+        circuits=("s27", "b02"),
+        policies=(1, 2, 3),
+        budget_scales=(0.5, 1.0, 2.0),
+        technologies=(MRAM,),
+        safe_zones=(True, False),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(multi_circuit_spec):
+    return SweepEngine(workers=1).run(multi_circuit_spec)
+
+
+class TestSweepSpec:
+    def test_full_factorial_count(self, multi_circuit_spec):
+        assert len(multi_circuit_spec) == 36
+        assert len(multi_circuit_spec.points()) == 36
+
+    def test_points_unique(self, multi_circuit_spec):
+        keys = {
+            (c, p.label()) for c, p in multi_circuit_spec.points()
+        }
+        assert len(keys) == 36
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepSpec(policies=())
+
+    def test_invalid_axis_values_rejected_up_front(self):
+        with pytest.raises(ValueError, match="policy"):
+            SweepSpec(policies=(4,))
+        with pytest.raises(ValueError, match="budget_scales"):
+            SweepSpec(budget_scales=(0.0,))
+        with pytest.raises(ValueError, match="threshold_scales"):
+            SweepSpec(threshold_scales=(-1.0,))
+        with pytest.raises(ValueError, match="safe_margin_scales"):
+            SweepSpec(safe_margin_scales=(0.0,))
+
+    def test_duplicate_axis_values_deduped(self):
+        spec = SweepSpec(
+            circuits=("s27", "s27"), policies=(3,), budget_scales=(1.0, 1.0),
+            safe_zones=(True,),
+        )
+        result = SweepEngine(workers=1).run(spec)
+        assert result.stats.n_points == 1
+        assert result.stats.n_evaluated == 1
+        assert len(result.records) == 1
+
+    def test_cli_rejects_invalid_axis_value(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["sweep", "s27", "--budget-scales", "0"])
+
+    def test_extended_axes_multiply(self):
+        spec = SweepSpec(
+            circuits=("s27",),
+            policies=(3,),
+            budget_scales=(1.0,),
+            safe_zones=(True,),
+            criteria_sets=(
+                ReplacementCriteria(),
+                ReplacementCriteria(fanio_weight=0.0),
+            ),
+            threshold_scales=(0.9, 1.0),
+            safe_margin_scales=(None, 0.5),
+        )
+        assert len(spec) == 8
+
+
+class TestParallelParity:
+    def test_parallel_matches_serial(self, multi_circuit_spec, serial_result):
+        parallel = SweepEngine(workers=4).run(multi_circuit_spec)
+        assert parallel.stats.n_evaluated == 36
+        assert sorted(map(record_fingerprint, parallel.records)) == sorted(
+            map(record_fingerprint, serial_result.records)
+        )
+
+    def test_records_in_spec_order(self, multi_circuit_spec, serial_result):
+        expected = [
+            (c, p.label()) for c, p in multi_circuit_spec.points()
+        ]
+        assert [
+            (r.circuit, r.point.label()) for r in serial_result.records
+        ] == expected
+
+    def test_synthesis_cache_one_call_per_group(
+        self, multi_circuit_spec, serial_result
+    ):
+        # 2 circuits x 3 policies = 6 synthesis-stage groups for 36 points.
+        assert serial_result.stats.n_points == 36
+        assert serial_result.stats.synthesize_calls == 6
+        parallel = SweepEngine(workers=4).run(multi_circuit_spec)
+        assert parallel.stats.synthesize_calls == 6
+        assert parallel.stats.n_batches == 6
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            SweepEngine(workers=0)
+
+
+class TestPureEvaluation:
+    def test_evaluate_point_does_not_mutate_inputs(self):
+        netlist = load_circuit("s27")
+        point = DesignPoint(budget_scale=0.5)
+        cache = SynthesisCache()
+        first = evaluate_point(netlist, point, cache=cache)
+        second = evaluate_point(netlist, point, cache=cache)
+        assert record_fingerprint(first) == record_fingerprint(second)
+        assert cache.synthesize_calls == 1
+
+    def test_label_includes_criteria(self):
+        point = DesignPoint(
+            criteria=ReplacementCriteria(power_weight=2.0, fanio_weight=0.0)
+        )
+        assert "c1,2,0" in point.label()
+
+    def test_label_distinguishes_new_axes(self):
+        base = DesignPoint()
+        assert base.label() != DesignPoint(threshold_scale=0.9).label()
+        assert base.label() != DesignPoint(safe_margin_scale=2.0).label()
+
+    def test_threshold_scale_changes_outcome(self):
+        netlist = load_circuit("s27")
+        cache = SynthesisCache()
+        base = evaluate_point(netlist, DesignPoint(), cache=cache)
+        scaled = evaluate_point(
+            netlist, DesignPoint(threshold_scale=1.2), cache=cache
+        )
+        assert cache.synthesize_calls == 1  # same synthesis group
+        assert record_fingerprint(base) != record_fingerprint(scaled)
+
+    def test_safe_margin_scale_changes_outcome(self):
+        netlist = load_circuit("s27")
+        cache = SynthesisCache()
+        narrow = evaluate_point(
+            netlist, DesignPoint(safe_margin_scale=0.25), cache=cache
+        )
+        wide = evaluate_point(
+            netlist, DesignPoint(safe_margin_scale=2.0), cache=cache
+        )
+        assert narrow.pdp_js != wide.pdp_js
+
+
+class TestFailureCapture:
+    INFEASIBLE_MARGIN = 15.0  # > max admissible for the derived thresholds
+
+    def test_bad_point_does_not_abort_sweep_serial(self):
+        spec = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,),
+            safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
+        )
+        result = SweepEngine(workers=1).run(spec)
+        assert len(result.records) == 1
+        assert result.stats.n_failed == 1
+        assert "margin" in result.failures[0].error
+
+    def test_bad_point_does_not_abort_sweep_parallel(self):
+        spec = SweepSpec(
+            circuits=("s27",), policies=(2, 3), budget_scales=(1.0,),
+            safe_zones=(True,),
+            safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
+        )
+        result = SweepEngine(workers=2).run(spec)
+        assert len(result.records) == 2
+        assert result.stats.n_failed == 2
+
+    def test_overscaled_thresholds_fail_cleanly(self):
+        # Th_Cp scaled past the capacitor capacity must be a recorded
+        # failure, not an unphysical record or a spurious trace error.
+        spec = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,), threshold_scales=(4.0,),
+        )
+        result = SweepEngine(workers=1).run(spec)
+        assert result.stats.n_failed == 1
+        assert "capacitor" in result.failures[0].error
+
+    def test_resume_after_failures_completes(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        spec = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,),
+            safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
+        )
+        store = JsonlResultStore(path)
+        SweepEngine(workers=1, store=store).run(spec)
+        again = SweepEngine(workers=1, store=store).run(spec, resume=True)
+        assert again.stats.n_resumed == 1
+        assert again.stats.n_failed == 1  # retried, still infeasible
+        assert len(again.records) == 1
+
+    def test_identity_distinguishes_near_identical_floats(self):
+        # The display label rounds to 6 significant digits; resume and
+        # dedup must not.
+        a = DesignPoint(budget_scale=1.0)
+        b = DesignPoint(budget_scale=1.0 + 1e-9)
+        assert a.label() == b.label()
+        assert a.identity() != b.identity()
+        spec = SweepSpec(
+            circuits=("s27",), policies=(3,),
+            budget_scales=(1.0, 1.0 + 1e-9), safe_zones=(True,),
+        )
+        result = SweepEngine(workers=1).run(spec)
+        assert result.stats.n_evaluated == 2
+        assert len(result.records) == 2
+
+
+class TestResultStore:
+    def test_record_roundtrip(self, serial_result):
+        for record in serial_result.records[:4]:
+            rebuilt = record_from_dict(record_to_dict(record))
+            assert record_fingerprint(rebuilt) == record_fingerprint(record)
+
+    def test_technology_survives_roundtrip(self):
+        netlist = load_circuit("s27")
+        record = evaluate_point(netlist, DesignPoint(technology=RERAM))
+        rebuilt = record_from_dict(record_to_dict(record))
+        assert rebuilt.point.technology is RERAM
+
+    def test_streaming_and_resume(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        small = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(0.5, 1.0),
+            safe_zones=(True,),
+        )
+        first = SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        assert first.stats.n_evaluated == 2
+        assert len(path.read_text().splitlines()) == 2
+
+        grown = SweepSpec(
+            circuits=("s27",), policies=(3,),
+            budget_scales=(0.5, 1.0, 2.0), safe_zones=(True,),
+        )
+        second = SweepEngine(workers=1, store=JsonlResultStore(path)).run(
+            grown, resume=True
+        )
+        assert second.stats.n_resumed == 2
+        assert second.stats.n_evaluated == 1
+        assert len(second.records) == 3
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_resume_tolerates_truncated_line(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        small = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,),
+        )
+        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        with path.open("a") as handle:
+            handle.write('{"circuit": "s27", "point": {"pol')  # crash artifact
+        store = JsonlResultStore(path)
+        assert len(store.load()) == 1
+
+    def test_parallel_streaming(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        spec = SweepSpec(
+            circuits=("s27",), policies=(2, 3), budget_scales=(1.0,),
+            safe_zones=(True, False),
+        )
+        result = SweepEngine(workers=2, store=JsonlResultStore(path)).run(spec)
+        assert len(result.records) == 4
+        on_disk = JsonlResultStore(path).load()
+        assert sorted(map(record_fingerprint, on_disk)) == sorted(
+            map(record_fingerprint, result.records)
+        )
+
+
+class TestReporting:
+    def test_best_is_min_pdp(self, serial_result):
+        best = serial_result.best()
+        assert best.pdp_js == min(r.pdp_js for r in serial_result.records)
+
+    def test_front_is_nondominated(self, serial_result):
+        front = serial_result.front()
+        assert front
+        for record in front:
+            dominated = any(
+                other.pdp_js <= record.pdp_js
+                and other.reexec_energy_j <= record.reexec_energy_j
+                and (
+                    other.pdp_js < record.pdp_js
+                    or other.reexec_energy_j < record.reexec_energy_j
+                )
+                for other in serial_result.records
+            )
+            assert not dominated
+
+
+class TestSweepCli:
+    def test_cli_sweep_runs(self, capsys, tmp_path):
+        path = tmp_path / "cli.jsonl"
+        code = main([
+            "sweep", "s27", "--policies", "3", "--budget-scales", "1.0",
+            "--workers", "2", "--results", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pareto front" in out
+        assert "best:" in out
+        assert path.exists()
+
+    def test_cli_sweep_criteria_axis(self, capsys):
+        code = main([
+            "sweep", "s27", "--policies", "3", "--budget-scales", "1.0",
+            "--safe-zone", "on", "--criteria", "1,1,1", "1,2,0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "c1,2,0" in out
+
+    def test_cli_sweep_rejects_bad_criteria(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "s27", "--criteria", "1,2"])
+
+    def test_cli_resume_requires_results(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["sweep", "s27", "--resume"])
+
+    def test_cli_sweep_resume(self, capsys, tmp_path):
+        path = tmp_path / "cli.jsonl"
+        args = [
+            "sweep", "s27", "--policies", "3", "--budget-scales", "1.0",
+            "--safe-zone", "on", "--results", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "(1 resumed, 0 failed)" in capsys.readouterr().out

@@ -6,7 +6,6 @@ import pytest
 
 from repro.circuits import GateType, Netlist
 from repro.tech import DEFAULT_LIBRARY, synthesize
-from repro.tech.synthesis import SynthesisReport
 
 
 class TestReportBasics:
