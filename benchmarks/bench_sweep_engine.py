@@ -67,7 +67,7 @@ def test_synthesis_cache_vs_per_point_resynthesis():
     netlist = load_circuit("s1423")
     points = [
         point
-        for _circuit, point in SweepSpec(
+        for _circuit, _scenario, point in SweepSpec(
             circuits=("s1423",),
             policies=(3,),
             budget_scales=(0.5, 1.0, 2.0),

@@ -1,4 +1,9 @@
-"""``python -m repro`` — the DIAC design-tool CLI."""
+"""``python -m repro`` — the "prototyped DIAC design tool" CLI.
+
+The paper's conclusion promises "a prototyped design tool" for
+intermittent-aware synthesis; :mod:`repro.cli` is that tool's front
+end.
+"""
 
 from repro.cli import main
 

@@ -1,4 +1,9 @@
-"""Gate-level circuit substrate: netlist IR, parsers, generators."""
+"""Gate-level circuit substrate: netlist IR, parsers, generators.
+
+Feeds the paper's Fig. 5 roster (ISCAS-89 ``.bench``, ITC-99, MCNC
+BLIF) into the DIAC pipeline and provides generators for synthetic
+stand-ins.
+"""
 
 from repro.circuits.bench_parser import (
     BenchParseError,

@@ -1,6 +1,8 @@
 """Parser and writer for the ISCAS-89 ``.bench`` netlist format.
 
-The ``.bench`` grammar is tiny::
+The paper's evaluation (Section IV-B, Fig. 5) runs on "various ISCAS89
+benchmarks"; this parser is how those circuits enter the pipeline.  The
+``.bench`` grammar is tiny::
 
     # comment
     INPUT(G0)

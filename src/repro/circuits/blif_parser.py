@@ -1,6 +1,7 @@
 """Parser for the Berkeley Logic Interchange Format (BLIF) used by MCNC.
 
-Only the structural subset needed for the MCNC combinational/sequential
+The MCNC members of the paper's Fig. 5 roster ship as BLIF.  Only the
+structural subset needed for the MCNC combinational/sequential
 benchmarks is supported:
 
 * ``.model / .inputs / .outputs / .end``

@@ -1,9 +1,10 @@
 """The genuine ISCAS-89 ``s27`` benchmark netlist.
 
 ``s27`` is the smallest ISCAS-89 circuit (4 inputs, 1 output, 3 flip-flops,
-10 logic gates) and is shipped verbatim so at least one suite member is the
-real published circuit rather than a synthetic stand-in.  The text below is
-the standard ``s27.bench`` distribution.
+10 logic gates) and a member of the paper's Fig. 5 roster; it is shipped
+verbatim so at least one suite member is the real published circuit rather
+than a synthetic stand-in.  The text below is the standard ``s27.bench``
+distribution.
 """
 
 S27_BENCH = """\

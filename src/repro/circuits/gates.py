@@ -2,8 +2,9 @@
 
 The netlist IR mirrors the ISCAS-89 ``.bench`` view of a circuit: every gate
 drives exactly one net, and that net carries the gate's name.  The gate
-types below cover the vocabulary of the ISCAS-89/ITC-99/MCNC suites plus the
-cells our synthesis surrogate characterizes.
+types below cover the vocabulary of the ISCAS-89/ITC-99/MCNC suites of the
+paper's Fig. 5 roster plus the cells the 45 nm synthesis surrogate
+(Section IV-A's HSPICE characterization stand-in) characterizes.
 """
 
 from __future__ import annotations

@@ -1,5 +1,9 @@
 """Gate-level netlist container.
 
+This is the substrate the paper's tree-based representation (Section
+III-A) is built over: :func:`repro.core.tree_generator.build_task_graph`
+partitions a netlist's gates into the task tree DIAC manipulates.
+
 A :class:`Netlist` is a named collection of :class:`Gate` objects using the
 ISCAS-89 convention that every gate drives a single net named after the
 gate.  Primary inputs are gates of type ``INPUT``; primary outputs are a

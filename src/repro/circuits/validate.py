@@ -1,7 +1,8 @@
 """Functional equivalence checking between netlists.
 
-DIAC's transformations (policy split/merge, NVM insertion, codegen round
-trips) must never change what a circuit computes.  This module provides a
+DIAC's transformations (the Section III-C policy split/merge, Section
+III-D NVM insertion, codegen round trips) must never change what a
+circuit computes.  This module provides a
 random-vector equivalence check built on the event-driven logic simulator,
 which the test suite and the synthesis pipeline's validation step both use.
 """

@@ -9,10 +9,17 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep b10                      # design-space exploration
     python -m repro sweep s27 b02 --workers 4 \
         --results out.jsonl --resume               # parallel, resumable sweep
+    python -m repro sweep s27 --scenario paper-fig5 rf-markov@7 \
+        --safe-zone on                             # cross-environment sweep
+    python -m repro scenarios list                 # harvest environments
+    python -m repro scenarios show rf-markov --seed 7
+    python -m repro scenarios plot office-solar    # ASCII power profile
     python -m repro fig4                           # the Fig. 4 timeline
 
 Netlist arguments accept roster names, ``.bench`` files, or ``.blif``
-files.
+files.  Scenario arguments accept registry names (``scenarios list``),
+optionally seeded/scaled as ``name[@seed[@scale]]``, or paths to measured
+``.csv``/``.jsonl`` power logs.
 """
 
 from __future__ import annotations
@@ -135,8 +142,39 @@ def _parse_criteria(specs: list[str]):
     return tuple(criteria)
 
 
+def _scenario_exit(error: Exception) -> SystemExit:
+    """A scenario lookup/parse error as a clean CLI exit."""
+    message = error.args[0] if error.args else error
+    return SystemExit(f"error: {message}")
+
+
+def _parse_scenarios(specs: list[str]):
+    """Parse and validate ``name[@seed[@scale]]`` scenario specs.
+
+    The raw text is tried as a scenario name first, so a power-log path
+    containing ``@`` (``logs/site@3.csv``) resolves as a file instead of
+    being split into spec components.
+    """
+    from repro.energy.scenarios import ScenarioSpec, resolve_scenario
+
+    scenarios = []
+    for text in specs:
+        try:
+            try:
+                resolve_scenario(text)
+                spec = ScenarioSpec(name=text)
+            except KeyError:
+                spec = ScenarioSpec.parse(text)
+                resolve_scenario(spec.name)  # fail fast on unknown names
+        except (ValueError, KeyError) as error:
+            raise _scenario_exit(error) from None
+        scenarios.append(spec)
+    return tuple(scenarios)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.dse import JsonlResultStore, SweepEngine, SweepSpec
+    from repro.metrics import format_robustness, robustness_report
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
@@ -163,6 +201,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 tuple(args.safe_margin_scales) if args.safe_margin_scales
                 else (None,)
             ),
+            scenarios=_parse_scenarios(args.scenario),
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
@@ -170,9 +209,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     engine = SweepEngine(workers=args.workers, store=store)
     result = engine.run(spec, netlists=netlists, resume=args.resume)
 
+    # Distinct environments, not raw spec count: equivalent specs
+    # (e.g. 'rf-markov@7' and 'rf-markov@7x1.0') dedupe to one scenario,
+    # and a one-environment "robustness" table would be meaningless.
+    multi_scenario = len(set(spec.scenarios)) > 1
     rows = [
         [
             r.circuit,
+            *([r.scenario.label()] if multi_scenario else []),
             r.point.label(),
             r.n_barriers,
             r.n_backups,
@@ -184,7 +228,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     title = f"{', '.join(args.circuits)}: design-space sweep"
     print(
         format_table(
-            ["circuit", "design point", "barriers", "backups",
+            ["circuit",
+             *(["scenario"] if multi_scenario else []),
+             "design point", "barriers", "backups",
              "re-exec (J)", "PDP (Js)"],
             rows,
             title=title,
@@ -195,22 +241,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print("\nfailed points (skipped):", file=sys.stderr)
         for failure in result.failures:
             print(
-                f"  {failure.circuit}/{failure.label}: {failure.error}",
+                f"  {failure.circuit}/{failure.scenario}/{failure.label}: "
+                f"{failure.error}",
                 file=sys.stderr,
             )
 
-    if result.records:
-        front = result.front()
-        print("\npareto front (PDP x re-execution exposure):")
+    # PDP is only comparable inside one environment, so fronts and
+    # "best" are reported per scenario.
+    fronts = result.fronts_by_scenario()
+    for label, records in result.by_scenario().items():
+        front = fronts[label]
+        print(f"\n[{label}] pareto front (PDP x re-execution exposure):")
         for r in sorted(front, key=lambda r: r.pdp_js):
             print(
                 f"  {r.circuit}/{r.point.label()}  "
                 f"PDP={r.pdp_js:.3e} Js  reexec={r.reexec_energy_j:.3e} J"
             )
-        best = result.best()
+        best = min(records, key=lambda r: r.pdp_js)
         print(
-            f"\nbest: {best.circuit}/{best.point.label()}  "
+            f"[{label}] best: {best.circuit}/{best.point.label()}  "
             f"PDP={best.pdp_js:.3e} Js"
+        )
+
+    if multi_scenario and result.records:
+        entries = robustness_report(result.records)
+        print()
+        print(format_robustness(entries, limit=args.robustness_top))
+        top = entries[0]
+        print(
+            f"\nrobust best: {top.circuit}/{top.label}  "
+            f"worst-case degradation {top.worst:.3f} over "
+            f"{top.coverage} scenario(s)"
         )
     stats = result.stats
     print(
@@ -221,6 +282,115 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{stats.n_batches} batches"
     )
     return 1 if result.failures and not result.records else 0
+
+
+def _resolved_scenario(args: argparse.Namespace):
+    """``(scenario, spec)`` for a scenarios show/plot invocation.
+
+    Accepts the sweep axis' ``name[@seed[@scale]]`` spec form too, so
+    labels printed by ``sweep`` paste straight into ``show``/``plot``;
+    an explicit ``--seed``/``--scale`` flag wins over a spec component
+    (the flags default to ``None``, so even ``--seed 0`` overrides).
+    """
+    from repro.energy.scenarios import ScenarioSpec, resolve_scenario
+
+    try:
+        spec = ScenarioSpec(
+            name=args.name,
+            seed=args.seed if args.seed is not None else 0,
+            scale=args.scale if args.scale is not None else 1.0,
+        )
+        try:
+            scenario = resolve_scenario(spec.name)
+        except KeyError:
+            if "@" not in args.name:
+                raise
+            parsed = ScenarioSpec.parse(args.name)
+            spec = ScenarioSpec(
+                name=parsed.name,
+                seed=args.seed if args.seed is not None else parsed.seed,
+                scale=(
+                    args.scale if args.scale is not None else parsed.scale
+                ),
+            )
+            scenario = resolve_scenario(spec.name)
+    except (ValueError, KeyError) as error:
+        raise _scenario_exit(error) from None
+    return scenario, spec
+
+
+def cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    from repro.energy.scenarios import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        trace = scenario.build()
+        rows.append(
+            [
+                scenario.name,
+                scenario.kind,
+                len(trace.segments),
+                f"{trace.period_s:.1f}",
+                f"{trace.mean_power_w:.2f}",
+                f"{trace.peak_power_w:.2f}",
+                scenario.description,
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "kind", "segments", "period (t_ref)",
+             "mean P (p_ref)", "peak P (p_ref)", "description"],
+            rows,
+            title="harvest-environment scenarios",
+        )
+    )
+    return 0
+
+
+def cmd_scenarios_show(args: argparse.Namespace) -> int:
+    scenario, spec = _resolved_scenario(args)
+    trace = scenario.build(spec.scale, 1.0, spec.seed)
+    print(f"{spec.label()} ({scenario.kind}): {scenario.description}")
+    print(
+        f"  period: {trace.period_s:.2f} t_ref over "
+        f"{len(trace.segments)} segments"
+    )
+    print(
+        f"  power: mean {trace.mean_power_w:.3f} p_ref, "
+        f"peak {trace.peak_power_w:.3f} p_ref, "
+        f"{trace.cycle_energy_j:.2f} p_ref*t_ref per cycle"
+    )
+    if args.segments:
+        for i, seg in enumerate(trace.segments):
+            print(
+                f"  [{i:3d}] {seg.duration_s:8.3f} t_ref @ "
+                f"{seg.power_w:.3f} p_ref"
+            )
+    return 0
+
+
+def cmd_scenarios_plot(args: argparse.Namespace) -> int:
+    from repro.viz import line_plot
+
+    scenario, spec = _resolved_scenario(args)
+    trace = scenario.build(spec.scale, 1.0, spec.seed)
+    # Sample densely enough that every segment shows at plot resolution.
+    n_samples = max(args.width * 2, 4 * len(trace.segments))
+    dt = trace.period_s / n_samples
+    times = [i * dt for i in range(n_samples + 1)]
+    powers = [trace.power_at(t) for t in times]
+    print(
+        line_plot(
+            times,
+            powers,
+            width=args.width,
+            height=args.height,
+            title=f"{spec.label()}: harvest power (p_ref) over one cycle "
+            "(t_ref)",
+            y_markers={"mean": trace.mean_power_w},
+        )
+    )
+    return 0
 
 
 def cmd_fig4(_args: argparse.Namespace) -> int:
@@ -315,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="safe-zone widths relative to the derived default",
     )
     p_sweep.add_argument(
+        "--scenario", nargs="+", default=["paper-fig5"],
+        metavar="NAME[@SEED[@SCALE]]",
+        help="harvest environments to sweep under (registry names from "
+        "'scenarios list' or .csv/.jsonl power-log paths)",
+    )
+    p_sweep.add_argument(
+        "--robustness-top", type=int, default=10, metavar="N",
+        help="rows of the cross-scenario robustness table to print",
+    )
+    p_sweep.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (1 = serial)",
     )
@@ -327,6 +507,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip points already present in --results",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_scen = sub.add_parser(
+        "scenarios", help="inspect the harvest-environment registry"
+    )
+    scen_sub = p_scen.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser(
+        "list", help="list registered scenarios"
+    ).set_defaults(func=cmd_scenarios_list)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "name", help="registry name or .csv/.jsonl power-log path"
+        )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="RNG seed (stochastic scenarios; default 0)",
+        )
+        p.add_argument(
+            "--scale", type=float, default=None,
+            help="harvest-power multiplier (default 1.0)",
+        )
+
+    p_show = scen_sub.add_parser(
+        "show", help="print a scenario's trace statistics"
+    )
+    add_scenario_args(p_show)
+    p_show.add_argument(
+        "--segments", action="store_true", help="dump every segment"
+    )
+    p_show.set_defaults(func=cmd_scenarios_show)
+
+    p_plot = scen_sub.add_parser(
+        "plot", help="ASCII plot of one scenario cycle"
+    )
+    add_scenario_args(p_plot)
+    p_plot.add_argument("--width", type=int, default=100)
+    p_plot.add_argument("--height", type=int, default=16)
+    p_plot.set_defaults(func=cmd_scenarios_plot)
 
     sub.add_parser("fig4", help="render the Fig. 4 timeline").set_defaults(
         func=cmd_fig4

@@ -1,4 +1,9 @@
-"""DIAC core: tree generation, policies, replacement, codegen, pipeline."""
+"""DIAC core: tree generation, policies, replacement, codegen, pipeline.
+
+The paper's Section III methodology end to end: tree-based
+representation (III-A), task granularity policies 1-3 (III-C), NVM
+replacement criteria (III-D) and NV-enhanced code generation.
+"""
 
 from repro.core.codegen import GeneratedCode, TimingReport, generate_code
 from repro.core.diac import DiacConfig, DiacDesign, DiacSynthesizer

@@ -1,4 +1,10 @@
-"""Design-space exploration: sweeps, parallel engine and pareto analysis."""
+"""Design-space exploration: sweeps, parallel engine and pareto analysis.
+
+The paper argues the space of designs, policies and power-failure
+scenarios "exponentially expands" and demands "an efficient, precise,
+automated design tool" (Section I); this package is that tool's
+exploration machinery, with harvest scenarios as a first-class axis.
+"""
 
 from repro.dse.engine import (
     SweepEngine,

@@ -36,6 +36,7 @@ from repro.dse.explorer import (
 )
 from repro.dse.pareto import record_front
 from repro.dse.store import JsonlResultStore
+from repro.energy.scenarios import ScenarioSpec
 from repro.sim.intermittent import TraceTooWeakError
 from repro.suite.registry import load_circuit
 from repro.tech.nvm import MRAM, NvmTechnology
@@ -56,6 +57,8 @@ class SweepSpec:
         threshold_scales: uniform threshold-set scalings.
         safe_margin_scales: safe-zone width multipliers (``None`` keeps
             the derived default width).
+        scenarios: harvest environments to evaluate every point under
+            (see :mod:`repro.energy.scenarios`).
     """
 
     circuits: tuple[str, ...] = ("s27",)
@@ -68,6 +71,7 @@ class SweepSpec:
     safe_zones: tuple[bool, ...] = (True, False)
     threshold_scales: tuple[float, ...] = (1.0,)
     safe_margin_scales: tuple[float | None, ...] = (None,)
+    scenarios: tuple[ScenarioSpec, ...] = (ScenarioSpec(),)
 
     def __post_init__(self) -> None:
         for name in (
@@ -79,6 +83,7 @@ class SweepSpec:
             "safe_zones",
             "threshold_scales",
             "safe_margin_scales",
+            "scenarios",
         ):
             if not getattr(self, name):
                 raise ValueError(f"sweep axis {name!r} must be non-empty")
@@ -98,8 +103,8 @@ class SweepSpec:
         ):
             raise ValueError("safe_margin_scales values must be positive")
 
-    def points(self) -> list[tuple[str, DesignPoint]]:
-        """The full-factorial (circuit, point) list, in axis order."""
+    def points(self) -> list[tuple[str, ScenarioSpec, DesignPoint]]:
+        """The full-factorial (circuit, scenario, point) list, in axis order."""
         expanded = expand_points(
             self.policies,
             self.budget_scales,
@@ -110,8 +115,9 @@ class SweepSpec:
             self.safe_margin_scales,
         )
         return [
-            (circuit, point)
+            (circuit, scenario, point)
             for circuit in self.circuits
+            for scenario in self.scenarios
             for point in expanded
         ]
 
@@ -125,6 +131,7 @@ class SweepSpec:
             len(self.safe_zones),
             len(self.threshold_scales),
             len(self.safe_margin_scales),
+            len(self.scenarios),
         )
         total = 1
         for n in lengths:
@@ -140,11 +147,15 @@ class SweepFailure:
         circuit: the sweep's name for the circuit.
         label: the failed point's display label.
         error: the exception message.
+        scenario: display label of the environment the point failed
+            under (a point may fail under one scenario and succeed
+            under another — e.g. a trace too weak for its thresholds).
     """
 
     circuit: str
     label: str
     error: str
+    scenario: str = ScenarioSpec().label()
 
 
 @dataclass
@@ -179,7 +190,8 @@ class SweepResult:
     ``records`` contains every successful record of the spec — freshly
     evaluated and resumed-from-store alike — ordered by the spec's point
     order; ``failures`` lists the points that raised (an infeasible
-    safe-margin or a trace too weak for the configuration) so one bad
+    safe-margin, a trace too weak for the configuration, or a scenario
+    that no longer resolves — e.g. a moved power-log file) so one bad
     point never aborts the sweep.
     """
 
@@ -187,47 +199,107 @@ class SweepResult:
     stats: SweepStats = field(default_factory=SweepStats)
     failures: list[SweepFailure] = field(default_factory=list)
 
+    def _require_single_scenario(self, what: str, instead: str) -> None:
+        """Guard the cross-record aggregates against mixed environments.
+
+        PDP values are only comparable inside one environment, so
+        aggregating records from several scenarios would crown whichever
+        point ran under the most generous one.
+        """
+        labels = {r.scenario.label() for r in self.records}
+        if len(labels) > 1:
+            raise ValueError(
+                f"{what}() is not meaningful across scenarios "
+                f"({', '.join(sorted(labels))}); use {instead}() or "
+                "metrics.robustness_report()"
+            )
+
     def best(self) -> ExplorationRecord:
-        """The PDP-optimal record.
+        """The PDP-optimal record of a single-scenario sweep.
 
         Raises:
-            ValueError: when the result holds no records.
+            ValueError: when the result holds no records, or records
+                from more than one scenario (use
+                :meth:`best_by_scenario` /
+                :func:`repro.metrics.robustness_report` instead).
         """
         if not self.records:
             raise ValueError("no records to choose from")
+        self._require_single_scenario("best", "best_by_scenario")
         return min(self.records, key=lambda r: r.pdp_js)
 
     def front(self) -> list[ExplorationRecord]:
-        """The efficiency/resiliency Pareto front of the records."""
+        """The Pareto front of a single-scenario sweep.
+
+        Raises:
+            ValueError: on records from more than one scenario (use
+                :meth:`fronts_by_scenario` instead).
+        """
+        self._require_single_scenario("front", "fronts_by_scenario")
         return record_front(self.records)
+
+    def by_scenario(self) -> dict[str, list[ExplorationRecord]]:
+        """Records grouped by scenario label, in first-seen order.
+
+        PDP values are only comparable inside one environment (a stingy
+        scenario inflates every point's PDP), so per-scenario grouping
+        is the unit Pareto fronts and "best design" claims live at.
+        """
+        groups: dict[str, list[ExplorationRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.scenario.label(), []).append(record)
+        return groups
+
+    def fronts_by_scenario(self) -> dict[str, list[ExplorationRecord]]:
+        """Per-scenario efficiency/resiliency Pareto fronts."""
+        return {
+            label: record_front(records)
+            for label, records in self.by_scenario().items()
+        }
+
+    def best_by_scenario(self) -> dict[str, ExplorationRecord]:
+        """The PDP-optimal record of each scenario."""
+        return {
+            label: min(records, key=lambda r: r.pdp_js)
+            for label, records in self.by_scenario().items()
+        }
 
 
 def _evaluate_batch(
     circuit: str,
     netlist: Netlist,
-    points: list[DesignPoint],
+    jobs: list[tuple[ScenarioSpec, DesignPoint]],
     base_config: DiacConfig | None,
 ) -> tuple[list[ExplorationRecord], int, list[SweepFailure]]:
     """Evaluate one synthesis-stage group with a batch-local cache.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; returns
     the records, the number of ``synthesize`` calls the batch cost
-    (exactly one when the grouping works), and any per-point failures.
-    ``circuit`` is the sweep's name for the netlist, which wins over
-    ``netlist.name`` so resume keys stay stable for file-loaded circuits.
+    (exactly one when the grouping works — scenarios share the stage,
+    since the environment never changes the synthesized design), and any
+    per-job failures.  ``circuit`` is the sweep's name for the netlist,
+    which wins over ``netlist.name`` so resume keys stay stable for
+    file-loaded circuits.
     """
     cache = SynthesisCache()
     records = []
     failures = []
-    for point in points:
+    for scenario, point in jobs:
         try:
             record = evaluate_point(
-                netlist, point, base_config=base_config, cache=cache
+                netlist,
+                point,
+                base_config=base_config,
+                cache=cache,
+                scenario=scenario,
             )
-        except (ValueError, TraceTooWeakError) as error:
+        except (ValueError, KeyError, TraceTooWeakError) as error:
             failures.append(
                 SweepFailure(
-                    circuit=circuit, label=point.label(), error=str(error)
+                    circuit=circuit,
+                    label=point.label(),
+                    error=str(error),
+                    scenario=scenario.label(),
                 )
             )
             continue
@@ -297,32 +369,35 @@ class SweepEngine:
         # twice): one evaluation, one record, consistent stats.
         tasks = []
         seen: set[tuple] = set()
-        for circuit, point in spec.points():
-            key = (circuit, *point.identity())
+        for circuit, scenario, point in spec.points():
+            key = (circuit, *scenario.identity(), *point.identity())
             if key not in seen:
                 seen.add(key)
-                tasks.append((circuit, point))
+                tasks.append((key, circuit, scenario, point))
         stats = SweepStats(n_points=len(tasks), workers=self.workers)
 
         resumed: dict[tuple, ExplorationRecord] = {}
         if resume and self.store is not None:
             on_disk = {r.key(): r for r in self.store.load()}
-            wanted = {
-                (circuit, *point.identity()) for circuit, point in tasks
-            }
+            wanted = {key for key, *_rest in tasks}
             resumed = {k: v for k, v in on_disk.items() if k in wanted}
         pending = [
-            (circuit, point)
-            for circuit, point in tasks
-            if (circuit, *point.identity()) not in resumed
+            (circuit, scenario, point)
+            for key, circuit, scenario, point in tasks
+            if key not in resumed
         ]
         stats.n_resumed = len(tasks) - len(pending)
 
         # Batch by synthesis-stage group (circuit x policy) so each batch
-        # shares one characterization/tree/policy run.
-        groups: dict[tuple[str, int], list[DesignPoint]] = {}
-        for circuit, point in pending:
-            groups.setdefault((circuit, point.policy), []).append(point)
+        # shares one characterization/tree/policy run; scenarios ride in
+        # the same batch because they never change the synthesized design.
+        groups: dict[
+            tuple[str, int], list[tuple[ScenarioSpec, DesignPoint]]
+        ] = {}
+        for circuit, scenario, point in pending:
+            groups.setdefault((circuit, point.policy), []).append(
+                (scenario, point)
+            )
         stats.n_batches = len(groups)
 
         fresh: dict[tuple, ExplorationRecord] = {}
@@ -331,20 +406,22 @@ class SweepEngine:
             # One cache per circuit key: the stage memo is keyed on
             # netlist.name, and two file-loaded circuits may share a name.
             caches = {circuit: SynthesisCache() for circuit in netlists}
-            for circuit, point in pending:
+            for circuit, scenario, point in pending:
                 try:
                     record = evaluate_point(
                         netlists[circuit],
                         point,
                         base_config=self.base_config,
                         cache=caches[circuit],
+                        scenario=scenario,
                     )
-                except (ValueError, TraceTooWeakError) as error:
+                except (ValueError, KeyError, TraceTooWeakError) as error:
                     failures.append(
                         SweepFailure(
                             circuit=circuit,
                             label=point.label(),
                             error=str(error),
+                            scenario=scenario.label(),
                         )
                     )
                     continue
@@ -360,9 +437,9 @@ class SweepEngine:
                 futures = [
                     pool.submit(
                         _evaluate_batch, circuit, netlists[circuit],
-                        points, self.base_config,
+                        jobs, self.base_config,
                     )
-                    for (circuit, _policy), points in groups.items()
+                    for (circuit, _policy), jobs in groups.items()
                 ]
                 # Persist batches as they finish, not in submission order,
                 # so a kill mid-run loses at most the in-flight batches.
@@ -378,10 +455,8 @@ class SweepEngine:
         stats.n_evaluated = len(fresh)
         stats.n_failed = len(failures)
         ordered = []
-        for circuit, point in tasks:
-            record = resumed.get((circuit, *point.identity())) or fresh.get(
-                (circuit, *point.identity())
-            )
+        for key, *_rest in tasks:
+            record = resumed.get(key) or fresh.get(key)
             if record is not None:
                 ordered.append(record)
         stats.wall_s = time.perf_counter() - start

@@ -32,6 +32,7 @@ from repro.core.policies import PolicyConfig, apply_policy, config_for_graph
 from repro.core.replacement import ReplacementCriteria, insert_nvm
 from repro.core.tree import TaskGraph
 from repro.core.tree_generator import build_task_graph
+from repro.energy.scenarios import ScenarioSpec
 from repro.evaluation import build_environment, evaluate_design
 from repro.tech.nvm import MRAM, NvmTechnology
 from repro.tech.synthesis import SynthesisReport, synthesize
@@ -101,7 +102,7 @@ class DesignPoint:
 
 @dataclass
 class ExplorationRecord:
-    """Evaluation outcome of one design point on one circuit.
+    """Evaluation outcome of one design point in one environment.
 
     Attributes:
         point: the configuration.
@@ -113,6 +114,7 @@ class ExplorationRecord:
             less progress is ever at risk).
         n_barriers: barriers the replacement step placed.
         circuit: name of the evaluated circuit.
+        scenario: the harvest environment the point was evaluated under.
     """
 
     point: DesignPoint
@@ -123,14 +125,21 @@ class ExplorationRecord:
     reexec_energy_j: float
     n_barriers: int
     circuit: str = ""
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
 
     def key(self) -> tuple:
-        """Identity of this record inside a sweep: circuit + exact point.
+        """Identity inside a sweep: circuit + scenario + exact point.
 
-        Built on :meth:`DesignPoint.identity` (full float precision), not
-        the display label, so near-identical axis values never collide.
+        Built on :meth:`DesignPoint.identity` and
+        :meth:`~repro.energy.scenarios.ScenarioSpec.identity` (full float
+        precision), not the display labels, so near-identical axis values
+        never collide.
         """
-        return (self.circuit, *self.point.identity())
+        return (
+            self.circuit,
+            *self.scenario.identity(),
+            *self.point.identity(),
+        )
 
 
 #: Cached front half of the pipeline: characterization report, shaped task
@@ -204,6 +213,7 @@ def evaluate_point(
     point: DesignPoint,
     base_config: DiacConfig | None = None,
     cache: SynthesisCache | None = None,
+    scenario: ScenarioSpec | None = None,
 ) -> ExplorationRecord:
     """Synthesize and execute one design point — side-effect-free.
 
@@ -211,17 +221,24 @@ def evaluate_point(
     is mutated; repeated calls with the same arguments return identical
     records, which is what lets the sweep engine fan evaluations out over
     worker processes and compare serial and parallel runs bit-for-bit.
+    Stochastic scenarios are seed-deterministic, so this holds across the
+    scenario axis too.
 
     Args:
         netlist: the design under exploration.
         point: the configuration to evaluate.
         base_config: defaults shared by all points of a sweep.
         cache: optional synthesis-stage memo shared across points.
+        scenario: harvest environment to evaluate under (the paper's
+            Fig. 5 trace when omitted).  The scenario only changes the
+            evaluation environment, never the synthesized design, so all
+            scenarios of one policy share a cached synthesis stage.
 
     Returns:
-        The :class:`ExplorationRecord` for ``(netlist, point)``.
+        The :class:`ExplorationRecord` for ``(netlist, scenario, point)``.
     """
     base = base_config or DiacConfig()
+    scenario = scenario or ScenarioSpec()
     config = _point_config(base, point)
     if cache is None:  # NB: an empty cache is falsy (it has __len__).
         cache = SynthesisCache()
@@ -247,7 +264,7 @@ def evaluate_point(
         policy_config=policy_config,
     )
 
-    env = build_environment(design)
+    env = build_environment(design, scenario=scenario)
     thresholds = env.thresholds
     if point.safe_margin_scale is not None:
         thresholds = thresholds.with_safe_margin(
@@ -281,6 +298,7 @@ def evaluate_point(
         reexec_energy_j=result.reexec_energy_j,
         n_barriers=design.plan.n_barriers,
         circuit=netlist.name,
+        scenario=scenario,
     )
 
 
@@ -293,11 +311,13 @@ def expand_points(
     threshold_scales: tuple[float, ...],
     safe_margin_scales: tuple[float | None, ...],
 ) -> list[DesignPoint]:
-    """Full-factorial expansion of the sweep axes, in canonical order.
+    """Full-factorial expansion of the design-point axes, in canonical order.
 
     The single expansion shared by :meth:`DesignSpaceExplorer.sweep` and
-    :meth:`repro.dse.engine.SweepSpec.points`, so a new axis only ever
-    needs threading through one product.
+    :meth:`repro.dse.engine.SweepSpec.points`, so a new design axis only
+    ever needs threading through one product.  Environment axes
+    (circuits, scenarios) are not design-point fields; the engine
+    crosses them with this product itself.
     """
     return [
         DesignPoint(
@@ -335,19 +355,29 @@ class DesignSpaceExplorer:
         netlist: the design under exploration.
         base_config: starting configuration (defaults shared by all
             points).
+        scenario: harvest environment shared by every evaluation (the
+            paper's Fig. 5 trace when omitted).
     """
 
     def __init__(
-        self, netlist: Netlist, base_config: DiacConfig | None = None
+        self,
+        netlist: Netlist,
+        base_config: DiacConfig | None = None,
+        scenario: ScenarioSpec | None = None,
     ) -> None:
         self.netlist = netlist
         self.base_config = base_config or DiacConfig()
+        self.scenario = scenario
         self.cache = SynthesisCache()
 
     def evaluate_point(self, point: DesignPoint) -> ExplorationRecord:
         """Synthesize and execute one design point."""
         return evaluate_point(
-            self.netlist, point, base_config=self.base_config, cache=self.cache
+            self.netlist,
+            point,
+            base_config=self.base_config,
+            cache=self.cache,
+            scenario=self.scenario,
         )
 
     def sweep(

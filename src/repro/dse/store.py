@@ -1,5 +1,7 @@
 """Streaming result store for design-space sweeps.
 
+The paper's "exponentially expanding" design space (Section I) makes
+sweeps long-running, so losing one to a crash is expensive.
 Exploration records stream to a JSON-lines file as they are produced, so a
 killed or crashed sweep loses at most the in-flight batch.  On restart the
 engine loads the partial file, skips every point already on disk, and
@@ -14,6 +16,7 @@ from pathlib import Path
 
 from repro.core.replacement import ReplacementCriteria
 from repro.dse.explorer import DesignPoint, ExplorationRecord
+from repro.energy.scenarios import ScenarioSpec
 from repro.tech.nvm import get_technology
 
 
@@ -21,8 +24,14 @@ def record_to_dict(record: ExplorationRecord) -> dict:
     """Serialize one record to a JSON-compatible dict."""
     point = record.point
     criteria = point.criteria
+    scenario = record.scenario
     return {
         "circuit": record.circuit,
+        "scenario": {
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "scale": scenario.scale,
+        },
         "point": {
             "policy": point.policy,
             "budget_scale": point.budget_scale,
@@ -48,9 +57,23 @@ def record_to_dict(record: ExplorationRecord) -> dict:
 def record_from_dict(data: dict) -> ExplorationRecord:
     """Rebuild a record from :func:`record_to_dict` output.
 
+    A missing ``scenario`` entry (stores written before the scenario
+    axis existed) resolves to the default paper-fig5 environment, which
+    is exactly what those records were evaluated under.
+
     Raises:
         KeyError: on a malformed dict or unknown technology name.
     """
+    scenario_data = data.get("scenario")
+    scenario = (
+        ScenarioSpec(
+            name=scenario_data["name"],
+            seed=scenario_data["seed"],
+            scale=scenario_data["scale"],
+        )
+        if scenario_data
+        else ScenarioSpec()
+    )
     point_data = data["point"]
     point = DesignPoint(
         policy=point_data["policy"],
@@ -70,6 +93,7 @@ def record_from_dict(data: dict) -> ExplorationRecord:
         reexec_energy_j=data["reexec_energy_j"],
         n_barriers=data["n_barriers"],
         circuit=data["circuit"],
+        scenario=scenario,
     )
 
 

@@ -1,4 +1,10 @@
-"""Energy substrate: storage, harvesters, traces, thresholds."""
+"""Energy substrate: storage, harvesters, traces, thresholds, scenarios.
+
+Models the paper's Section IV-A setup — the 2 mF / 5 V storage
+capacitor, the Fig. 3/4 threshold ladder, the cyclic harvest traces —
+plus the scenario registry that generalizes the evaluation beyond the
+single RFID environment.
+"""
 
 from repro.energy.capacitor import EnergyStorage, InsufficientEnergyError
 from repro.energy.harvester import (
@@ -9,19 +15,45 @@ from repro.energy.harvester import (
     solar_trace,
     steady_trace,
 )
+from repro.energy.scenarios import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    Scenario,
+    ScenarioSpec,
+    build_scenario_trace,
+    get_scenario,
+    list_scenarios,
+    load_power_log,
+    register_scenario,
+    resample_trace,
+    resolve_scenario,
+    scenario_from_file,
+)
 from repro.energy.thresholds import ThresholdSet
 from repro.energy.traces import evaluation_trace, fig4_trace
 
 __all__ = [
+    "DEFAULT_SCENARIO",
+    "SCENARIOS",
     "EnergyStorage",
     "HarvestSegment",
     "HarvestTrace",
     "InsufficientEnergyError",
+    "Scenario",
+    "ScenarioSpec",
     "ThresholdSet",
+    "build_scenario_trace",
     "evaluation_trace",
     "fig4_trace",
+    "get_scenario",
     "kinetic_trace",
+    "list_scenarios",
+    "load_power_log",
+    "register_scenario",
+    "resample_trace",
+    "resolve_scenario",
     "rfid_trace",
+    "scenario_from_file",
     "solar_trace",
     "steady_trace",
 ]

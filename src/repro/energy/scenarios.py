@@ -1,0 +1,567 @@
+"""Harvest-environment scenarios: the energy axis of the design space.
+
+The paper evaluates DIAC against one cyclic RFID-style trace (Section
+IV-C, the "predetermined sequence of voltage levels" behind Fig. 5).  A
+design-exploration claim is only as strong as the environments it was
+tested under, so this module turns the harvest environment into a
+first-class, *named* axis:
+
+* a registry of :class:`Scenario` entries spanning deterministic
+  profiles (the paper's Fig. 5 trace, an office-solar diurnal, an
+  indoor-lighting duty cycle, an RF reader proximity sweep) and seeded
+  stochastic generators (Markov on/off RF bursts, shot-noise kinetic
+  harvesting, cloud-occluded solar) — each builder is a pure function of
+  ``(p_ref_w, t_ref_s, seed)``, so the same scenario reproduces exactly
+  at any circuit's energy scale;
+* a CSV/JSONL ingester (:func:`load_power_log`) that turns measured
+  power logs into :class:`~repro.energy.harvester.HarvestTrace`
+  segments, an energy-conserving :func:`resample_trace`, and
+  :func:`scenario_from_file` which normalizes a measured trace into the
+  same relative units the built-in generators use;
+* :class:`ScenarioSpec` — the ``(name, seed, scale)`` triple the DSE
+  carries through :class:`~repro.dse.engine.SweepSpec`, the JSONL result
+  store and per-scenario Pareto reporting.
+
+Relative units: builders receive a reference power ``p_ref_w`` (the
+evaluation harness derives it from the circuit's active power) and a
+reference duration ``t_ref_s``; scenario patterns are authored as
+multiples of those references, exactly like
+:func:`repro.energy.traces.evaluation_trace`.  A scenario's ``scale``
+multiplies the delivered power — ``scale=0.5`` is the same environment,
+half as generous.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.energy.harvester import HarvestSegment, HarvestTrace
+from repro.energy.traces import evaluation_trace
+
+#: The scenario every evaluation uses unless told otherwise: the paper's
+#: Fig. 5 trace.  Keeping it in the registry (rather than special-casing
+#: it) makes "the paper's setup" just one more point on the scenario axis.
+DEFAULT_SCENARIO = "paper-fig5"
+
+#: Builder signature: ``(p_ref_w, t_ref_s, seed) -> HarvestTrace``.
+TraceBuilder = Callable[[float, float, int], HarvestTrace]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point on the scenario axis: which environment, seeded how.
+
+    Attributes:
+        name: registry name (or a CSV/JSONL trace-file path).
+        seed: RNG seed for stochastic scenarios (ignored by
+            deterministic and trace-file scenarios).
+        scale: harvest-power multiplier; 0.5 halves every segment's
+            power, modelling a stingier deployment of the same
+            environment.
+    """
+
+    name: str = DEFAULT_SCENARIO
+    seed: int = 0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.scale <= 0:
+            raise ValueError("scenario scale must be positive")
+
+    def identity(self) -> tuple:
+        """Exact-value identity — the resume/dedup key contribution."""
+        return (self.name, self.seed, self.scale)
+
+    def label(self) -> str:
+        """Compact display form: ``name[@seed[x<scale>]]``.
+
+        A scaled spec always spells out its seed (``name@0x0.5``) so
+        every label round-trips through :meth:`parse` — sweep output
+        pastes straight back into ``--scenario`` and ``scenarios show``.
+        """
+        text = self.name
+        if self.scale != 1.0:
+            # repr is the shortest round-trip rendering, so re-parsing
+            # the label always recovers the exact scale.
+            text += f"@{self.seed}x{self.scale!r}"
+        elif self.seed != 0:
+            text += f"@{self.seed}"
+        return text
+
+    @classmethod
+    def parse(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec string ``name[@seed[@scale]]`` or a :meth:`label`.
+
+        Examples: ``rf-markov``, ``rf-markov@7``, ``office-solar@0@0.5``
+        and the label form ``rf-markov@7x0.5``.
+
+        Raises:
+            ValueError: on a malformed seed/scale component.
+        """
+        parts = text.split("@")
+        if len(parts) > 3:
+            raise ValueError(
+                f"scenario spec {text!r} has too many '@' components "
+                "(expected name[@seed[@scale]])"
+            )
+        name = parts[0]
+        seed = 0
+        scale = 1.0
+        try:
+            if len(parts) == 2 and "x" in parts[1]:
+                seed_text, scale_text = parts[1].split("x", 1)
+                seed = int(seed_text)
+                scale = float(scale_text)
+            elif len(parts) >= 2:
+                seed = int(parts[1])
+            if len(parts) == 3:
+                scale = float(parts[2])
+        except ValueError:
+            raise ValueError(
+                f"scenario spec {text!r}: seed must be an integer and "
+                "scale a number (name[@seed[@scale]] or name@seedx<scale>)"
+            ) from None
+        return cls(name=name, seed=seed, scale=scale)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered harvest environment.
+
+    Attributes:
+        name: registry key.
+        kind: ``"deterministic"``, ``"stochastic"`` or ``"trace"``.
+        description: one-line summary for ``scenarios list``.
+        builder: pure ``(p_ref_w, t_ref_s, seed) -> HarvestTrace``.
+    """
+
+    name: str
+    kind: str
+    description: str
+    builder: TraceBuilder
+
+    def build(
+        self, p_ref_w: float = 1.0, t_ref_s: float = 1.0, seed: int = 0
+    ) -> HarvestTrace:
+        """Materialize the trace at a given energy scale.
+
+        With the default references the trace comes out in relative
+        units (powers in multiples of ``p_ref``, durations in multiples
+        of ``t_ref``) — handy for inspection and plotting.
+        """
+        if p_ref_w <= 0 or t_ref_s <= 0:
+            raise ValueError("reference power and time must be positive")
+        return self.builder(p_ref_w, t_ref_s, seed)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic profiles.
+# ---------------------------------------------------------------------------
+
+
+def _paper_fig5(p_ref: float, t_ref: float, _seed: int) -> HarvestTrace:
+    """The paper's Fig. 5 evaluation trace (Section IV-C)."""
+    return evaluation_trace(p_ref, t_ref, name="paper-fig5")
+
+
+def _office_solar(p_ref: float, t_ref: float, _seed: int) -> HarvestTrace:
+    """A diurnal half-sine: 12 t_ref of daylight, 4 t_ref of night."""
+    segments = [
+        HarvestSegment(
+            t_ref, 1.5 * p_ref * math.sin(math.pi * (i + 0.5) / 12.0)
+        )
+        for i in range(12)
+    ]
+    segments.append(HarvestSegment(4.0 * t_ref, 0.0))
+    return HarvestTrace(segments, name="office-solar")
+
+
+def _indoor_lighting(p_ref: float, t_ref: float, _seed: int) -> HarvestTrace:
+    """Office lighting duty cycles: on/dim/on/off blocks, then lights-out."""
+    block = [
+        (2.0, 0.90),   # lights on
+        (0.5, 0.45),   # dimmed (meeting-room presets)
+        (1.5, 0.85),   # back on
+        (1.0, 0.05),   # off (motion sensor timed out)
+    ]
+    segments = [
+        HarvestSegment(d * t_ref, p * p_ref) for _ in range(3) for d, p in block
+    ]
+    segments.append(HarvestSegment(3.0 * t_ref, 0.0))  # lights-out
+    return HarvestTrace(segments, name="indoor-lighting")
+
+
+def _rf_proximity(p_ref: float, t_ref: float, _seed: int) -> HarvestTrace:
+    """An RFID reader passing by: burst amplitude ramps up, then away."""
+    amplitudes = (0.3, 0.6, 0.9, 1.2, 1.5, 1.2, 0.9, 0.6, 0.3)
+    segments = []
+    for amp in amplitudes:
+        segments.append(HarvestSegment(0.6 * t_ref, amp * p_ref))
+        segments.append(HarvestSegment(0.4 * t_ref, 0.0))
+    segments.append(HarvestSegment(2.0 * t_ref, 0.0))  # reader out of range
+    return HarvestTrace(segments, name="rf-proximity")
+
+
+# ---------------------------------------------------------------------------
+# Stochastic generators — all draws come from one ``random.Random(seed)``,
+# so a (scenario, seed) pair is bit-reproducible across processes.
+# ---------------------------------------------------------------------------
+
+
+def _rf_markov(p_ref: float, t_ref: float, seed: int) -> HarvestTrace:
+    """A two-state Markov RF field: geometric on/off dwells, jittered bursts."""
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(24):
+        on = max(0.15, rng.expovariate(1.0 / 0.8)) * t_ref
+        power = p_ref * (1.1 + 0.25 * (rng.random() - 0.5))
+        segments.append(HarvestSegment(on, power))
+        if rng.random() < 0.3:
+            # A weak residual field keeps some safe-zone dips alive.
+            tail = max(0.1, rng.expovariate(1.0 / 0.4)) * t_ref
+            segments.append(
+                HarvestSegment(tail, p_ref * rng.uniform(0.55, 0.65))
+            )
+        off = max(0.1, rng.expovariate(1.0 / 0.6)) * t_ref
+        segments.append(HarvestSegment(off, 0.0))
+    return HarvestTrace(segments, name="rf-markov")
+
+
+def _kinetic_shot(p_ref: float, t_ref: float, seed: int) -> HarvestTrace:
+    """Shot-noise kinetic harvesting: sparse strong impulses over a trickle."""
+    rng = random.Random(seed)
+    segments = []
+    for _ in range(28):
+        gap = max(0.2, rng.expovariate(1.0)) * t_ref
+        segments.append(HarvestSegment(gap, 0.04 * p_ref))
+        width = rng.uniform(0.2, 0.35) * t_ref
+        amp = p_ref * min(3.0, 1.2 + rng.expovariate(2.0))
+        segments.append(HarvestSegment(width, amp))
+    return HarvestTrace(segments, name="kinetic-shot")
+
+
+def _solar_cloudy(p_ref: float, t_ref: float, seed: int) -> HarvestTrace:
+    """The diurnal half-sine under a Markov cloud layer."""
+    rng = random.Random(seed)
+    cloudy = rng.random() < 0.3
+    segments = []
+    for i in range(12):
+        clear = 1.6 * p_ref * math.sin(math.pi * (i + 0.5) / 12.0)
+        # Cloud cover persists: ~70% chance of keeping the current state.
+        if rng.random() < 0.3:
+            cloudy = not cloudy
+        power = clear * rng.uniform(0.1, 0.45) if cloudy else clear
+        segments.append(HarvestSegment(t_ref, power))
+    segments.append(HarvestSegment(3.0 * t_ref, 0.0))  # night
+    return HarvestTrace(segments, name="solar-cloudy")
+
+
+#: The built-in scenario roster.  ``register_scenario`` extends it.
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> None:
+    """Add (or replace) a scenario in the registry."""
+    SCENARIOS[scenario.name] = scenario
+
+
+for _scenario in (
+    Scenario(
+        "paper-fig5", "deterministic",
+        "the paper's Fig. 5 cyclic RFID evaluation trace", _paper_fig5,
+    ),
+    Scenario(
+        "office-solar", "deterministic",
+        "diurnal half-sine daylight with a 4 t_ref night", _office_solar,
+    ),
+    Scenario(
+        "indoor-lighting", "deterministic",
+        "office-lighting duty cycles ending in lights-out", _indoor_lighting,
+    ),
+    Scenario(
+        "rf-proximity", "deterministic",
+        "RFID reader passing by: burst amplitude ramp up/down", _rf_proximity,
+    ),
+    Scenario(
+        "rf-markov", "stochastic",
+        "two-state Markov RF field with jittered bursts and weak tails",
+        _rf_markov,
+    ),
+    Scenario(
+        "kinetic-shot", "stochastic",
+        "shot-noise kinetic impulses over a leakage-level trickle",
+        _kinetic_shot,
+    ),
+    Scenario(
+        "solar-cloudy", "stochastic",
+        "diurnal half-sine under a persistent Markov cloud layer",
+        _solar_cloudy,
+    ),
+):
+    register_scenario(_scenario)
+
+
+def list_scenarios() -> list[Scenario]:
+    """The registered scenarios, sorted by name."""
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registry scenario by name.
+
+    Raises:
+        KeyError: with the known roster when ``name`` is unregistered.
+    """
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def resolve_scenario(name: str) -> Scenario:
+    """Registry lookup with a trace-file fallback.
+
+    A ``name`` that is not registered but names an existing ``.csv`` /
+    ``.jsonl`` file is ingested via :func:`scenario_from_file`, so the
+    CLI's ``--scenario`` axis accepts measured power logs directly.
+    """
+    if name in SCENARIOS:
+        return SCENARIOS[name]
+    path = Path(name)
+    if path.suffix.lower() in (".csv", ".jsonl") and path.exists():
+        return _cached_scenario_from_file(str(path))
+    return get_scenario(name)  # raises with the roster
+
+
+def build_scenario_trace(
+    spec: ScenarioSpec, p_ref_w: float = 1.0, t_ref_s: float = 1.0
+) -> HarvestTrace:
+    """Materialize a spec's trace at a given energy scale.
+
+    The spec's ``scale`` multiplies the reference power, and the built
+    trace is renamed to the spec's label so downstream reporting (and
+    :class:`~repro.sim.intermittent.TraceTooWeakError` messages) say
+    which environment was running.
+    """
+    scenario = resolve_scenario(spec.name)
+    trace = scenario.build(p_ref_w * spec.scale, t_ref_s, spec.seed)
+    trace.name = spec.label()
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Measured-trace ingestion.
+# ---------------------------------------------------------------------------
+
+
+def _parse_csv_rows(path: Path) -> list[tuple[float, float]]:
+    """Two-column CSV rows as float pairs, skipping a header line.
+
+    The header escape applies to the first *content* line (blank and
+    ``#`` comment lines don't count), so a log may open with comments
+    and still carry its ``time_s,power_w`` header.
+    """
+    rows = []
+    first_content = True
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) != 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected two comma-separated columns"
+            )
+        try:
+            rows.append((float(parts[0]), float(parts[1])))
+        except ValueError:
+            if first_content:  # header row
+                first_content = False
+                continue
+            raise ValueError(
+                f"{path}:{lineno}: non-numeric sample {line!r}"
+            ) from None
+        first_content = False
+    return rows
+
+
+def _parse_jsonl_rows(path: Path) -> tuple[list[tuple[float, float]], bool]:
+    """JSONL samples as float pairs plus whether column 0 is a duration.
+
+    Each line is an object with either ``time_s``/``power_w`` (timestamped
+    samples) or ``duration_s``/``power_w`` (pre-segmented); one log must
+    stick to one form — mixing them would silently reinterpret
+    timestamps as durations, so it is a format error.
+    """
+    rows: list[tuple[float, float]] = []
+    durations: bool | None = None
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{lineno}: bad JSON ({error})") from None
+        if "duration_s" in data:
+            key, is_duration = "duration_s", True
+        elif "time_s" in data:
+            key, is_duration = "time_s", False
+        else:
+            raise ValueError(
+                f"{path}:{lineno}: need 'time_s' or 'duration_s' plus "
+                "'power_w'"
+            )
+        if durations is None:
+            durations = is_duration
+        elif durations != is_duration:
+            raise ValueError(
+                f"{path}:{lineno}: mixes 'time_s' and 'duration_s' lines; "
+                "a log must use one form throughout"
+            )
+        rows.append((float(data[key]), float(data["power_w"])))
+    return rows, bool(durations)
+
+
+def _segments_from_samples(
+    rows: list[tuple[float, float]], path: Path
+) -> list[HarvestSegment]:
+    """Timestamped ``(t, power)`` samples -> constant-power segments.
+
+    Each sample holds until the next timestamp; the final sample holds
+    for the mean inter-sample interval.
+    """
+    if len(rows) < 2:
+        raise ValueError(f"{path}: need at least two samples")
+    times = [t for t, _p in rows]
+    if any(b <= a for a, b in zip(times, times[1:])):
+        raise ValueError(f"{path}: timestamps must be strictly increasing")
+    mean_dt = (times[-1] - times[0]) / (len(times) - 1)
+    segments = []
+    for (t0, power), (t1, _next) in zip(rows, rows[1:]):
+        segments.append(HarvestSegment(t1 - t0, max(power, 0.0)))
+    segments.append(HarvestSegment(mean_dt, max(rows[-1][1], 0.0)))
+    return segments
+
+
+def load_power_log(path: str | Path) -> HarvestTrace:
+    """Ingest a measured power log into a :class:`HarvestTrace`.
+
+    Supported formats (chosen by file extension):
+
+    * ``.csv`` — two columns ``time_s,power_w`` (header optional);
+      timestamps must be strictly increasing.
+    * ``.jsonl`` — one object per line with ``time_s``/``power_w``
+      (timestamped samples) or ``duration_s``/``power_w``
+      (pre-segmented).
+
+    Negative power readings (sensor noise) clamp to zero.
+
+    Raises:
+        ValueError: on an unsupported extension or malformed content.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        rows = _parse_csv_rows(path)
+        segments = _segments_from_samples(rows, path)
+    elif suffix == ".jsonl":
+        rows, durations = _parse_jsonl_rows(path)
+        if durations:
+            if not rows:
+                raise ValueError(f"{path}: no samples")
+            segments = [
+                HarvestSegment(d, max(p, 0.0)) for d, p in rows
+            ]
+        else:
+            segments = _segments_from_samples(rows, path)
+    else:
+        raise ValueError(
+            f"{path}: unsupported trace format {suffix!r} (.csv or .jsonl)"
+        )
+    return HarvestTrace(segments, name=path.stem)
+
+
+def resample_trace(trace: HarvestTrace, n_segments: int) -> HarvestTrace:
+    """Energy-conserving resample to at most ``n_segments`` segments.
+
+    Buckets the cycle into equal-duration windows and assigns each the
+    window's exact mean power (via
+    :meth:`~repro.energy.harvester.HarvestTrace.energy_between`), so the
+    resampled trace delivers identical energy per cycle.
+    """
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    if len(trace.segments) <= n_segments:
+        return trace
+    dt = trace.period_s / n_segments
+    segments = [
+        HarvestSegment(
+            dt, trace.energy_between(i * dt, (i + 1) * dt) / dt
+        )
+        for i in range(n_segments)
+    ]
+    return HarvestTrace(segments, name=trace.name)
+
+
+def scenario_from_file(
+    path: str | Path, n_segments: int = 64
+) -> Scenario:
+    """Wrap a measured power log as a registry-compatible scenario.
+
+    The log is resampled to at most ``n_segments`` segments and
+    normalized into the relative units the built-in generators use:
+    powers divide by the trace's peak power (peak -> 1.0 ``p_ref``) and
+    durations divide by the mean segment duration (mean -> 1.0
+    ``t_ref``).  The scenario then rescales to any circuit via the same
+    ``(p_ref_w, t_ref_s)`` references, so one field measurement drives
+    sweeps across the whole benchmark roster.
+    """
+    path = Path(path)
+    measured = resample_trace(load_power_log(path), n_segments)
+    peak = measured.peak_power_w
+    if peak <= 0:
+        raise ValueError(f"{path}: trace never delivers power")
+    mean_dt = measured.period_s / len(measured.segments)
+    pattern = [
+        (seg.duration_s / mean_dt, seg.power_w / peak)
+        for seg in measured.segments
+    ]
+
+    def build(p_ref: float, t_ref: float, _seed: int) -> HarvestTrace:
+        return HarvestTrace(
+            [HarvestSegment(d * t_ref, p * p_ref) for d, p in pattern],
+            name=measured.name,
+        )
+
+    return Scenario(
+        name=str(path),
+        kind="trace",
+        description=f"measured power log {path.name} "
+        f"({len(pattern)} segments, normalized to peak)",
+        builder=build,
+    )
+
+
+@lru_cache(maxsize=64)
+def _cached_scenario_from_file(path: str) -> Scenario:
+    """Per-process ingestion memo behind :func:`resolve_scenario`.
+
+    :func:`build_scenario_trace` resolves the spec on every evaluation,
+    so without this a sweep over a measured log would re-read and
+    re-resample the file once per design point (in every worker).  The
+    cache holds the *normalized pattern* (a pure value), so the log is
+    parsed once per process per path.
+    """
+    return scenario_from_file(path)

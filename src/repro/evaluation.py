@@ -34,8 +34,8 @@ from repro.calibration import (
 from repro.circuits.netlist import Netlist
 from repro.core.diac import DiacConfig, DiacDesign, DiacSynthesizer
 from repro.energy.harvester import HarvestTrace
+from repro.energy.scenarios import ScenarioSpec, build_scenario_trace
 from repro.energy.thresholds import ThresholdSet
-from repro.energy.traces import evaluation_trace
 from repro.sim.intermittent import (
     ExecutionResult,
     IntermittentExecutor,
@@ -63,7 +63,9 @@ class Environment:
     n_passes: int
 
 
-def build_environment(design: DiacDesign) -> Environment:
+def build_environment(
+    design: DiacDesign, scenario: ScenarioSpec | None = None
+) -> Environment:
     """Derive the evaluation environment for one synthesized design.
 
     The capacitor is sized against the *reference* (MRAM) backup cost of
@@ -71,6 +73,12 @@ def build_environment(design: DiacDesign) -> Environment:
     under test uses: the storage capacitor is a device-level provision,
     so NVM-technology ablations swap the memory inside a fixed energy
     environment (Section IV-C).
+
+    Args:
+        design: the synthesized design to size the environment for.
+        scenario: which harvest environment to materialize at the
+            circuit's energy scale (see :mod:`repro.energy.scenarios`);
+            ``None`` keeps the paper's Fig. 5 trace.
     """
     from repro.baselines.schemes import profile_diac
     from repro.tech.cacti import backup_array_for
@@ -83,7 +91,7 @@ def build_environment(design: DiacDesign) -> Environment:
     thresholds = ThresholdSet.from_e_max(e_max)
     p_ref = EVAL_HARVEST_FRACTION * reference.active_power_w
     t_ref = EVAL_T_REF_FACTOR * e_max / p_ref
-    trace = evaluation_trace(p_ref, t_ref)
+    trace = build_scenario_trace(scenario or ScenarioSpec(), p_ref, t_ref)
     sleep_drain = EVAL_SLEEP_DRAIN_FACTOR * e_max / t_ref
     n_passes = max(
         1,

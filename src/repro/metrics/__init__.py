@@ -1,4 +1,10 @@
-"""PDP metrics, aggregation, and report formatting."""
+"""PDP metrics, cross-scenario robustness, and report formatting.
+
+The paper's headline numbers are normalized power-delay products and
+improvement percentages (Fig. 5, Section IV-C); this package computes
+them, checks them against the published claims, and scores designs
+across harvest scenarios.
+"""
 
 from repro.metrics.pdp import (
     PAPER_CLAIMS,
@@ -13,9 +19,19 @@ from repro.metrics.report import (
     format_paper_vs_measured,
     format_table,
 )
+from repro.metrics.robustness import (
+    RobustnessEntry,
+    best_robust,
+    format_robustness,
+    robustness_report,
+)
 
 __all__ = [
     "PAPER_CLAIMS",
+    "RobustnessEntry",
+    "best_robust",
+    "format_robustness",
+    "robustness_report",
     "format_normalized_pdp",
     "format_paper_vs_measured",
     "format_table",

@@ -1,4 +1,9 @@
-"""Plain-text tables for benches, examples and EXPERIMENTS.md."""
+"""Plain-text tables for the CLI, benchmarks and examples.
+
+Renders the Fig. 5-style comparisons (normalized PDP per scheme, paper
+claim vs. measured) and generic aligned tables without any third-party
+dependency.
+"""
 
 from __future__ import annotations
 

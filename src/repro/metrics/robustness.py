@@ -1,0 +1,155 @@
+"""Cross-scenario robustness scoring for design-space sweeps.
+
+The paper's "best design" is best *on one trace* (the Fig. 5 RFID
+environment).  Once the scenario axis exists (see
+:mod:`repro.energy.scenarios`), a better question is: which design stays
+near-optimal across every environment it might be deployed into?
+
+This module scores that.  PDP values are only comparable inside one
+(scenario, circuit) pair — a stingy environment inflates everything — so
+each record's PDP is first normalized to the best PDP achieved by *any*
+design under the same (scenario, circuit).  A design's normalized PDP is
+its degradation factor: 1.0 means it is that environment's winner, 1.3
+means 30% worse than the winner.  Robustness is then the minimax view:
+
+* ``worst`` — the largest degradation across scenarios (the number a
+  deployment engineer cares about);
+* ``mean`` — the average degradation (tie-breaker and overall health).
+
+The robust-best design minimizes ``worst``, breaking ties on ``mean``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.dse.explorer import ExplorationRecord
+
+
+@dataclass(frozen=True)
+class RobustnessEntry:
+    """Cross-scenario degradation profile of one (circuit, design point).
+
+    Attributes:
+        circuit: the evaluated circuit.
+        label: the design point's display label.
+        degradation: scenario label -> normalized PDP (1.0 = that
+            scenario's best design).
+        worst: max degradation across the scenarios seen.
+        mean: average degradation across the scenarios seen.
+        coverage: scenarios this design was evaluated under.
+    """
+
+    circuit: str
+    label: str
+    degradation: dict[str, float]
+    worst: float
+    mean: float
+    coverage: int
+
+
+def robustness_report(
+    records: Sequence["ExplorationRecord"],
+) -> list[RobustnessEntry]:
+    """Score every design's PDP degradation across the scenario set.
+
+    Designs evaluated under fewer scenarios than the full set (a point
+    can fail under one environment and succeed under another) still get
+    an entry, with ``coverage`` saying how many environments it
+    survived; rank entries by ``(-coverage, worst, mean)`` to prefer
+    designs that survive everywhere.
+
+    Returns:
+        Entries sorted most-robust first.
+    """
+    # Best PDP per (scenario, circuit): the normalization denominator.
+    best: dict[tuple[str, str], float] = {}
+    for r in records:
+        key = (r.scenario.label(), r.circuit)
+        if key not in best or r.pdp_js < best[key]:
+            best[key] = r.pdp_js
+
+    # Degradation profile per (circuit, design point).
+    profiles: dict[tuple, dict[str, float]] = {}
+    labels: dict[tuple, tuple[str, str]] = {}
+    for r in records:
+        key = (r.circuit, *r.point.identity())
+        denominator = best[(r.scenario.label(), r.circuit)]
+        ratio = r.pdp_js / denominator if denominator > 0 else float("inf")
+        profiles.setdefault(key, {})[r.scenario.label()] = ratio
+        labels[key] = (r.circuit, r.point.label())
+
+    entries = []
+    for key, degradation in profiles.items():
+        circuit, label = labels[key]
+        values = list(degradation.values())
+        entries.append(
+            RobustnessEntry(
+                circuit=circuit,
+                label=label,
+                degradation=dict(degradation),
+                worst=max(values),
+                mean=sum(values) / len(values),
+                coverage=len(values),
+            )
+        )
+    entries.sort(key=lambda e: (-e.coverage, e.worst, e.mean))
+    return entries
+
+
+def best_robust(
+    records: Sequence["ExplorationRecord"],
+) -> RobustnessEntry:
+    """The design minimizing worst-case degradation across scenarios.
+
+    Raises:
+        ValueError: when ``records`` is empty.
+    """
+    entries = robustness_report(records)
+    if not entries:
+        raise ValueError("no records to choose from")
+    return entries[0]
+
+
+def format_robustness(
+    entries: Sequence[RobustnessEntry], limit: int | None = None
+) -> str:
+    """Render a robustness report as an aligned text table.
+
+    Args:
+        entries: output of :func:`robustness_report`.
+        limit: show only the first ``limit`` entries when given.
+    """
+    from repro.metrics.report import format_table
+
+    shown = list(entries[:limit] if limit is not None else entries)
+    scenario_labels: list[str] = []
+    for entry in shown:
+        for label in entry.degradation:
+            if label not in scenario_labels:
+                scenario_labels.append(label)
+    rows = []
+    for entry in shown:
+        rows.append(
+            [
+                entry.circuit,
+                entry.label,
+                *(
+                    f"{entry.degradation[s]:.3f}"
+                    if s in entry.degradation
+                    else "-"
+                    for s in scenario_labels
+                ),
+                f"{entry.worst:.3f}",
+                f"{entry.mean:.3f}",
+            ]
+        )
+    return format_table(
+        ["circuit", "design point", *scenario_labels, "worst", "mean"],
+        rows,
+        title="cross-scenario robustness (normalized PDP; 1.000 = "
+        "scenario best)",
+    )

@@ -1,4 +1,9 @@
-"""Simulation engines: logic, intermittent execution."""
+"""Simulation engines: logic, intermittent execution.
+
+The intermittent executor realizes the paper's Section IV-C evaluation
+harness (identical macro task per scheme, backup/restore charged at NVM
+prices); the logic simulator backs functional validation.
+"""
 
 from repro.sim.intermittent import (
     ExecutionResult,

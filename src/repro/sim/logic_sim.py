@@ -3,7 +3,8 @@
 Evaluates a netlist one clock cycle at a time: combinational gates settle
 in topological order, then all flip-flops capture their data inputs
 simultaneously (two-phase semantics, as real synchronous hardware does).
-Used for functional validation of DIAC's transformations and by the
+Used for functional validation of DIAC's transformations (the paper's
+Section III-D replacement must preserve function) and by the
 intermittent executor to replay partitions.
 """
 

@@ -1,4 +1,9 @@
-"""Technology substrate: 45 nm cell library, NVM models, synthesis, CACTI."""
+"""Technology substrate: 45 nm cell library, NVM models, synthesis, CACTI.
+
+The paper's Section IV-A operating point: 45 nm standard cells (NCSU
+PDK, HSPICE-characterized), MRAM/ReRAM/FeRAM/PCM backup technologies,
+and CACTI-style array cost modeling.
+"""
 
 from repro.tech.cacti import (
     AccessCost,

@@ -1,4 +1,8 @@
-"""ASCII visualization helpers for traces and PDP charts."""
+"""ASCII visualization helpers for traces and PDP charts.
+
+Renders the paper's Fig. 4 timeline, Fig. 5-style comparisons and
+scenario power profiles in plain terminals.
+"""
 
 from repro.viz.ascii_plot import bar_chart, line_plot
 

@@ -1,7 +1,7 @@
 """Terminal plots (no plotting library required offline).
 
-Renders the Fig. 4 energy timeline and Fig. 5-style bar charts as ASCII,
-for the examples and EXPERIMENTS.md.
+Renders the Fig. 4 energy timeline, Fig. 5-style bar charts and scenario
+power profiles as ASCII, for the CLI and the examples.
 """
 
 from __future__ import annotations

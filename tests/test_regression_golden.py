@@ -1,8 +1,8 @@
 """Golden regression tests: pin the headline reproduction numbers.
 
-These lock the suite-level results recorded in EXPERIMENTS.md to a ±3 pp
+These lock the measured suite-level improvement percentages to a ±3 pp
 window, so calibration drift is caught immediately.  A deliberate
-recalibration should update both the expectations here and EXPERIMENTS.md.
+recalibration should update the expectations here.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ from repro.evaluation import evaluate_suite
 from repro.metrics import suite_improvements
 from repro.suite import small_roster
 
-#: (scheme, versus, suite) -> measured percentage from EXPERIMENTS.md,
+#: (scheme, versus, suite) -> measured improvement percentage,
 #: restricted to the <=1000-gate subset this test evaluates.
 GOLDEN_SUBSET = {
     ("DIAC", "NV-based", "iscas89"): 39.6,

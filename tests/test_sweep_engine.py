@@ -57,7 +57,8 @@ class TestSweepSpec:
 
     def test_points_unique(self, multi_circuit_spec):
         keys = {
-            (c, p.label()) for c, p in multi_circuit_spec.points()
+            (c, s.label(), p.label())
+            for c, s, p in multi_circuit_spec.points()
         }
         assert len(keys) == 36
 
@@ -115,7 +116,7 @@ class TestParallelParity:
 
     def test_records_in_spec_order(self, multi_circuit_spec, serial_result):
         expected = [
-            (c, p.label()) for c, p in multi_circuit_spec.points()
+            (c, p.label()) for c, _s, p in multi_circuit_spec.points()
         ]
         assert [
             (r.circuit, r.point.label()) for r in serial_result.records
