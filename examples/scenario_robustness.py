@@ -45,15 +45,15 @@ def main() -> None:
     print(f"sweeping {len(spec)} (point, scenario) evaluations on {name}\n")
     result = SweepEngine(workers=1).run(spec)
 
-    for label, front in result.fronts_by_scenario().items():
-        print(f"[{label}] pareto front:")
+    for (label, circuit), front in result.fronts_by_scenario().items():
+        print(f"[{label} · {circuit}] pareto front:")
         for r in sorted(front, key=lambda r: r.pdp_js):
             print(
                 f"  {r.point.label():30s} PDP={r.pdp_js:.3e} Js  "
                 f"reexec={r.reexec_energy_j:.3e} J"
             )
-    for label, best in result.best_by_scenario().items():
-        print(f"[{label}] best: {best.point.label()}")
+    for (label, circuit), best in result.best_by_scenario().items():
+        print(f"[{label} · {circuit}] best: {best.point.label()}")
 
     entries = robustness_report(result.records)
     print()

@@ -11,6 +11,10 @@ Usage (after ``pip install -e .``)::
         --results out.jsonl --resume               # parallel, resumable sweep
     python -m repro sweep s27 --scenario paper-fig5 rf-markov@7 \
         --safe-zone on                             # cross-environment sweep
+    python -m repro sweep s27 --strategy random --samples 16 \
+        --threshold-scales 0.9 1.2                 # adaptive search
+    python -m repro sweep s27 --strategy halving --samples 24 \
+        --generations 3                            # screen, then promote
     python -m repro scenarios list                 # harvest environments
     python -m repro scenarios show rf-markov --seed 7
     python -m repro scenarios plot office-solar    # ASCII power profile
@@ -36,6 +40,10 @@ from repro.evaluation import evaluate_design
 from repro.metrics import format_table
 from repro.suite import BY_NAME, ROSTER, load_circuit
 from repro.tech import get_technology
+
+#: Mirrors :data:`repro.dse.strategies.STRATEGIES`; kept literal so the
+#: parser builds without importing the (heavier) DSE package.
+_STRATEGY_CHOICES = ("grid", "random", "lhs", "halving", "evolution")
 
 
 def _resolve_netlist(spec: str) -> Netlist:
@@ -173,13 +181,23 @@ def _parse_scenarios(specs: list[str]):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.dse import JsonlResultStore, SweepEngine, SweepSpec
+    from repro.dse import (
+        DesignSpace,
+        JsonlResultStore,
+        SweepEngine,
+        SweepSpec,
+        make_strategy,
+    )
     from repro.metrics import format_robustness, robustness_report
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
     if args.resume and not args.results:
         raise SystemExit("error: --resume requires --results")
+    if args.samples < 1:
+        raise SystemExit("error: --samples must be >= 1")
+    if args.generations < 1:
+        raise SystemExit("error: --generations must be >= 1")
     netlists = {spec: _resolve_netlist(spec) for spec in args.circuits}
     safe_zones = {
         "both": (True, False), "on": (True,), "off": (False,),
@@ -207,7 +225,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {error}") from None
     store = JsonlResultStore(args.results) if args.results else None
     engine = SweepEngine(workers=args.workers, store=store)
-    result = engine.run(spec, netlists=netlists, resume=args.resume)
+    if args.strategy == "grid":
+        # The full-factorial walk keeps its dedicated spec-order path.
+        result = engine.run(spec, netlists=netlists, resume=args.resume)
+    else:
+        # Adaptive search over the space the spec's axes span: discrete
+        # choices stay choices, scale axes become continuous ranges.
+        try:
+            strategy = make_strategy(
+                args.strategy,
+                DesignSpace.from_spec(spec),
+                samples=args.samples,
+                generations=args.generations,
+                seed=args.search_seed,
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+        result = engine.run_search(
+            strategy,
+            circuits=spec.circuits,
+            scenarios=spec.scenarios,
+            netlists=netlists,
+            resume=args.resume,
+            # Strategies self-terminate; the backstop only guards
+            # against a runaway ask loop, so it must never truncate the
+            # rounds the user explicitly asked for.
+            max_generations=max(64, args.generations),
+        )
 
     # Distinct environments, not raw spec count: equivalent specs
     # (e.g. 'rf-markov@7' and 'rf-markov@7x1.0') dedupe to one scenario,
@@ -246,20 +290,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    # PDP is only comparable inside one environment, so fronts and
-    # "best" are reported per scenario.
+    # PDP is only comparable inside one (scenario, circuit) pair — a
+    # stingy environment inflates every PDP and a bigger circuit simply
+    # costs more — so fronts and "best" are reported per pair.
     fronts = result.fronts_by_scenario()
-    for label, records in result.by_scenario().items():
-        front = fronts[label]
-        print(f"\n[{label}] pareto front (PDP x re-execution exposure):")
+    for (scenario_label, circuit), records in result.by_scenario().items():
+        group = f"{scenario_label} · {circuit}"
+        front = fronts[(scenario_label, circuit)]
+        print(f"\n[{group}] pareto front (PDP x re-execution exposure):")
         for r in sorted(front, key=lambda r: r.pdp_js):
             print(
-                f"  {r.circuit}/{r.point.label()}  "
+                f"  {r.point.label()}  "
                 f"PDP={r.pdp_js:.3e} Js  reexec={r.reexec_energy_j:.3e} J"
             )
         best = min(records, key=lambda r: r.pdp_js)
         print(
-            f"[{label}] best: {best.circuit}/{best.point.label()}  "
+            f"[{group}] best: {best.point.label()}  "
             f"PDP={best.pdp_js:.3e} Js"
         )
 
@@ -274,8 +320,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{top.coverage} scenario(s)"
         )
     stats = result.stats
+    search = (
+        f"{args.strategy} search, {stats.n_generations} generation(s); "
+        if stats.n_generations
+        else ""
+    )
     print(
-        f"{stats.n_points} points ({stats.n_resumed} resumed, "
+        f"{search}{stats.n_points} points ({stats.n_resumed} resumed, "
         f"{stats.n_failed} failed) in "
         f"{stats.wall_s:.2f} s with {stats.workers} worker(s); "
         f"{stats.synthesize_calls} synthesis runs over "
@@ -493,6 +544,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--robustness-top", type=int, default=10, metavar="N",
         help="rows of the cross-scenario robustness table to print",
+    )
+    p_sweep.add_argument(
+        "--strategy", choices=_STRATEGY_CHOICES, default="grid",
+        help="search strategy: grid walks the spec full-factorially; "
+        "random/lhs sample the spanned space; halving screens a pool "
+        "under a cheap generous scenario then promotes; evolution "
+        "mutates around the Pareto front",
+    )
+    p_sweep.add_argument(
+        "--samples", type=int, default=24, metavar="N",
+        help="candidate budget per generation for non-grid strategies "
+        "(random sample count / halving pool / evolution population)",
+    )
+    p_sweep.add_argument(
+        "--generations", type=int, default=4, metavar="N",
+        help="adaptive rounds for halving/evolution strategies",
+    )
+    p_sweep.add_argument(
+        "--search-seed", type=int, default=0, metavar="SEED",
+        help="RNG seed of the search strategy (deterministic per seed)",
     )
     p_sweep.add_argument(
         "--workers", type=int, default=1,

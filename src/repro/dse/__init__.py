@@ -21,11 +21,25 @@ from repro.dse.explorer import (
     evaluate_point,
     expand_points,
 )
-from repro.dse.pareto import pareto_front, record_front
+from repro.dse.pareto import hypervolume_2d, pareto_front, record_front
+from repro.dse.scoring import best_pdp_by_group, pdp_degradation
 from repro.dse.store import (
     JsonlResultStore,
     record_from_dict,
     record_to_dict,
+)
+from repro.dse.strategies import (
+    STRATEGIES,
+    DesignSpace,
+    EvalOutcome,
+    GridStrategy,
+    ParetoEvolutionStrategy,
+    Proposal,
+    RandomStrategy,
+    Range,
+    SearchStrategy,
+    SuccessiveHalvingStrategy,
+    make_strategy,
 )
 from repro.dse.threshold_opt import (
     MarginOutcome,
@@ -34,11 +48,21 @@ from repro.dse.threshold_opt import (
 )
 
 __all__ = [
+    "STRATEGIES",
     "DesignPoint",
+    "DesignSpace",
     "DesignSpaceExplorer",
+    "EvalOutcome",
     "ExplorationRecord",
+    "GridStrategy",
     "JsonlResultStore",
     "MarginOutcome",
+    "ParetoEvolutionStrategy",
+    "Proposal",
+    "RandomStrategy",
+    "Range",
+    "SearchStrategy",
+    "SuccessiveHalvingStrategy",
     "SweepEngine",
     "SweepFailure",
     "SweepResult",
@@ -46,9 +70,13 @@ __all__ = [
     "SweepStats",
     "SynthesisCache",
     "best_margin",
+    "best_pdp_by_group",
     "evaluate_point",
     "expand_points",
+    "hypervolume_2d",
+    "make_strategy",
     "pareto_front",
+    "pdp_degradation",
     "record_front",
     "record_from_dict",
     "record_to_dict",

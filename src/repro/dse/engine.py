@@ -5,9 +5,9 @@ The paper frames DIAC as a design-exploration methodology whose space
 scenarios.  This engine is the infrastructure that makes that expansion
 tractable:
 
-* **batching** — the full-factorial point set of a :class:`SweepSpec` is
-  grouped by synthesis-stage key (circuit x policy), so every batch shares
-  one characterization/tree/policy run via
+* **batching** — evaluation tasks are grouped by synthesis-stage key
+  (circuit x policy), so every batch shares one
+  characterization/tree/policy run via
   :class:`~repro.dse.explorer.SynthesisCache`;
 * **parallelism** — batches fan out over a
   :class:`concurrent.futures.ProcessPoolExecutor` with a configurable
@@ -15,7 +15,12 @@ tractable:
   identical to the serial path (modulo ordering);
 * **streaming + resume** — records stream to a
   :class:`~repro.dse.store.JsonlResultStore` as batches complete, and a
-  re-run against a partial store skips every point already on disk.
+  re-run against a partial store skips every point already on disk;
+* **search strategies** — :meth:`SweepEngine.run` walks a
+  full-factorial :class:`SweepSpec`; :meth:`SweepEngine.run_search`
+  drives any :class:`~repro.dse.strategies.SearchStrategy` through the
+  same machinery generation by generation, with unchanged store keys so
+  adaptive searches resume exactly like grids.
 """
 
 from __future__ import annotations
@@ -36,10 +41,25 @@ from repro.dse.explorer import (
 )
 from repro.dse.pareto import record_front
 from repro.dse.store import JsonlResultStore
+from repro.dse.strategies import EvalOutcome, SearchStrategy
 from repro.energy.scenarios import ScenarioSpec
 from repro.sim.intermittent import TraceTooWeakError
 from repro.suite.registry import load_circuit
 from repro.tech.nvm import MRAM, NvmTechnology
+
+#: A task key: ``(circuit, *scenario.identity(), *point.identity())`` —
+#: the exact-precision identity resume, dedup and failure bookkeeping
+#: share.
+_TaskKey = tuple
+
+#: One evaluation task: ``(key, circuit, scenario, point)``.
+_Task = tuple[_TaskKey, str, ScenarioSpec, DesignPoint]
+
+
+def _task_key(
+    circuit: str, scenario: ScenarioSpec, point: DesignPoint
+) -> _TaskKey:
+    return (circuit, *scenario.identity(), *point.identity())
 
 
 @dataclass(frozen=True)
@@ -163,11 +183,18 @@ class SweepStats:
     """Bookkeeping of one engine run.
 
     Attributes:
-        n_points: points in the spec.
+        n_points: distinct evaluation tasks requested (spec points for
+            :meth:`SweepEngine.run`, unique proposed (circuit,
+            scenario, point) keys for :meth:`SweepEngine.run_search`).
         n_evaluated: points evaluated this run.
         n_resumed: points skipped because the store already had them.
-        n_failed: points that raised instead of producing a record.
+        n_failed: points that raised instead of producing a record
+            (searches count screening-fidelity evaluations too; the
+            result's ``failures`` list covers only requested
+            scenarios).
         n_batches: synthesis-stage groups fanned out.
+        n_generations: strategy generations driven (0 for plain
+            :meth:`SweepEngine.run`).
         synthesize_calls: actual circuit characterizations performed.
         workers: process count used (1 == serial in-process).
         wall_s: wall-clock duration of the run.
@@ -178,6 +205,7 @@ class SweepStats:
     n_resumed: int = 0
     n_failed: int = 0
     n_batches: int = 0
+    n_generations: int = 0
     synthesize_calls: int = 0
     workers: int = 1
     wall_s: float = 0.0
@@ -187,12 +215,13 @@ class SweepStats:
 class SweepResult:
     """Records plus run statistics.
 
-    ``records`` contains every successful record of the spec — freshly
+    ``records`` contains every successful record of the run — freshly
     evaluated and resumed-from-store alike — ordered by the spec's point
-    order; ``failures`` lists the points that raised (an infeasible
-    safe-margin, a trace too weak for the configuration, or a scenario
-    that no longer resolves — e.g. a moved power-log file) so one bad
-    point never aborts the sweep.
+    order (:meth:`SweepEngine.run`) or first-evaluation order
+    (:meth:`SweepEngine.run_search`); ``failures`` lists the points that
+    raised (an infeasible safe-margin, a trace too weak for the
+    configuration, or a scenario that no longer resolves — e.g. a moved
+    power-log file) so one bad point never aborts the sweep.
     """
 
     records: list[ExplorationRecord] = field(default_factory=list)
@@ -200,26 +229,32 @@ class SweepResult:
     failures: list[SweepFailure] = field(default_factory=list)
 
     def _require_single_scenario(self, what: str, instead: str) -> None:
-        """Guard the cross-record aggregates against mixed environments.
+        """Guard the cross-record aggregates against mixed groups.
 
-        PDP values are only comparable inside one environment, so
-        aggregating records from several scenarios would crown whichever
-        point ran under the most generous one.
+        PDP values are only comparable inside one (scenario, circuit)
+        pair — a stingy environment inflates every point's PDP, and a
+        bigger circuit simply costs more — so aggregating records that
+        mix scenarios *or* circuits would crown whichever record ran
+        under the most generous scenario on the smallest circuit.
         """
-        labels = {r.scenario.label() for r in self.records}
-        if len(labels) > 1:
+        groups = {(r.scenario.label(), r.circuit) for r in self.records}
+        if len(groups) > 1:
+            names = ", ".join(
+                f"{scenario}/{circuit}"
+                for scenario, circuit in sorted(groups)
+            )
             raise ValueError(
-                f"{what}() is not meaningful across scenarios "
-                f"({', '.join(sorted(labels))}); use {instead}() or "
+                f"{what}() is not meaningful across (scenario, circuit) "
+                f"groups ({names}); use {instead}() or "
                 "metrics.robustness_report()"
             )
 
     def best(self) -> ExplorationRecord:
-        """The PDP-optimal record of a single-scenario sweep.
+        """The PDP-optimal record of a single-(scenario, circuit) sweep.
 
         Raises:
             ValueError: when the result holds no records, or records
-                from more than one scenario (use
+                from more than one (scenario, circuit) group (use
                 :meth:`best_by_scenario` /
                 :func:`repro.metrics.robustness_report` instead).
         """
@@ -229,62 +264,86 @@ class SweepResult:
         return min(self.records, key=lambda r: r.pdp_js)
 
     def front(self) -> list[ExplorationRecord]:
-        """The Pareto front of a single-scenario sweep.
+        """The Pareto front of a single-(scenario, circuit) sweep.
 
         Raises:
-            ValueError: on records from more than one scenario (use
-                :meth:`fronts_by_scenario` instead).
+            ValueError: on records from more than one (scenario,
+                circuit) group (use :meth:`fronts_by_scenario` instead).
         """
         self._require_single_scenario("front", "fronts_by_scenario")
         return record_front(self.records)
 
-    def by_scenario(self) -> dict[str, list[ExplorationRecord]]:
-        """Records grouped by scenario label, in first-seen order.
+    def by_scenario(self) -> dict[tuple[str, str], list[ExplorationRecord]]:
+        """Records grouped by (scenario label, circuit), first-seen order.
 
-        PDP values are only comparable inside one environment (a stingy
-        scenario inflates every point's PDP), so per-scenario grouping
-        is the unit Pareto fronts and "best design" claims live at.
+        PDP values are only comparable inside one (scenario, circuit)
+        pair — a stingy scenario inflates every point's PDP, and a
+        larger circuit's PDP dwarfs a smaller one's regardless of
+        design quality — so this pair is the unit Pareto fronts and
+        "best design" claims live at.
         """
-        groups: dict[str, list[ExplorationRecord]] = {}
+        groups: dict[tuple[str, str], list[ExplorationRecord]] = {}
         for record in self.records:
-            groups.setdefault(record.scenario.label(), []).append(record)
+            key = (record.scenario.label(), record.circuit)
+            groups.setdefault(key, []).append(record)
         return groups
 
-    def fronts_by_scenario(self) -> dict[str, list[ExplorationRecord]]:
-        """Per-scenario efficiency/resiliency Pareto fronts."""
+    def fronts_by_scenario(
+        self,
+    ) -> dict[tuple[str, str], list[ExplorationRecord]]:
+        """Per-(scenario, circuit) efficiency/resiliency Pareto fronts."""
         return {
-            label: record_front(records)
-            for label, records in self.by_scenario().items()
+            key: record_front(records)
+            for key, records in self.by_scenario().items()
         }
 
-    def best_by_scenario(self) -> dict[str, ExplorationRecord]:
-        """The PDP-optimal record of each scenario."""
+    def best_by_scenario(self) -> dict[tuple[str, str], ExplorationRecord]:
+        """The PDP-optimal record of each (scenario, circuit) group."""
         return {
-            label: min(records, key=lambda r: r.pdp_js)
-            for label, records in self.by_scenario().items()
+            key: min(records, key=lambda r: r.pdp_js)
+            for key, records in self.by_scenario().items()
         }
+
+
+#: Worker-process-global synthesis caches, keyed like the serial path's
+#: per-circuit caches.  Only used when a generational search keeps its
+#: worker pool alive across generations (``persistent_cache=True``) so
+#: a (circuit, policy) stage synthesized in generation 1 is still warm
+#: in generation N.
+_PROCESS_CACHES: dict[str, SynthesisCache] = {}
 
 
 def _evaluate_batch(
     circuit: str,
     netlist: Netlist,
-    jobs: list[tuple[ScenarioSpec, DesignPoint]],
+    jobs: list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
     base_config: DiacConfig | None,
-) -> tuple[list[ExplorationRecord], int, list[SweepFailure]]:
+    persistent_cache: bool = False,
+) -> tuple[
+    list[tuple[_TaskKey, ExplorationRecord]],
+    int,
+    list[tuple[_TaskKey, SweepFailure]],
+]:
     """Evaluate one synthesis-stage group with a batch-local cache.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it; returns
-    the records, the number of ``synthesize`` calls the batch cost
+    keyed records, the number of ``synthesize`` calls the batch cost
     (exactly one when the grouping works — scenarios share the stage,
     since the environment never changes the synthesized design), and any
-    per-job failures.  ``circuit`` is the sweep's name for the netlist,
-    which wins over ``netlist.name`` so resume keys stay stable for
-    file-loaded circuits.
+    keyed per-job failures.  ``circuit`` is the sweep's name for the
+    netlist, which wins over ``netlist.name`` so resume keys stay stable
+    for file-loaded circuits.  ``persistent_cache`` switches to the
+    process-global cache so repeated batches in one worker (a
+    generational search with a long-lived pool) share stages.
     """
-    cache = SynthesisCache()
+    if persistent_cache:
+        cache = _PROCESS_CACHES.setdefault(circuit, SynthesisCache())
+    else:
+        cache = SynthesisCache()
+    calls_before = cache.synthesize_calls
     records = []
     failures = []
-    for scenario, point in jobs:
+    for key, scenario, point in jobs:
         try:
             record = evaluate_point(
                 netlist,
@@ -295,21 +354,24 @@ def _evaluate_batch(
             )
         except (ValueError, KeyError, TraceTooWeakError) as error:
             failures.append(
-                SweepFailure(
-                    circuit=circuit,
-                    label=point.label(),
-                    error=str(error),
-                    scenario=scenario.label(),
+                (
+                    key,
+                    SweepFailure(
+                        circuit=circuit,
+                        label=point.label(),
+                        error=str(error),
+                        scenario=scenario.label(),
+                    ),
                 )
             )
             continue
         record.circuit = circuit
-        records.append(record)
-    return records, cache.synthesize_calls, failures
+        records.append((key, record))
+    return records, cache.synthesize_calls - calls_before, failures
 
 
 class SweepEngine:
-    """Runs a :class:`SweepSpec` serially or across worker processes.
+    """Runs sweeps serially or across worker processes.
 
     Args:
         workers: process count; 1 (default) evaluates in-process with a
@@ -333,13 +395,122 @@ class SweepEngine:
         self.base_config = base_config
         self.store = store
 
+    def _execute_tasks(
+        self,
+        tasks: list[_Task],
+        netlists: dict[str, Netlist],
+        stats: SweepStats,
+        caches: dict[str, SynthesisCache] | None = None,
+        pool: ProcessPoolExecutor | None = None,
+    ) -> tuple[
+        dict[_TaskKey, ExplorationRecord], dict[_TaskKey, SweepFailure]
+    ]:
+        """Evaluate pending tasks, stream to the store, update ``stats``.
+
+        The single execution path behind :meth:`run` and
+        :meth:`run_search`: serial mode reuses the per-circuit
+        ``caches`` (so a generational search shares synthesis stages
+        across generations), parallel mode groups tasks by (circuit,
+        policy) and fans the groups out over a process pool.  A caller
+        that passes its own long-lived ``pool`` (the generational
+        search) also gets worker-process-global caches, so stages
+        synthesized in one generation stay warm for the next; one-shot
+        callers get a fresh pool and batch-local caches.
+        """
+        fresh: dict[_TaskKey, ExplorationRecord] = {}
+        failures: dict[_TaskKey, SweepFailure] = {}
+        if self.workers == 1:
+            # One cache per circuit key: the stage memo is keyed on
+            # netlist.name, and two file-loaded circuits may share a name.
+            if caches is None:
+                caches = {}
+            for circuit in netlists:
+                caches.setdefault(circuit, SynthesisCache())
+            before = sum(c.synthesize_calls for c in caches.values())
+            for key, circuit, scenario, point in tasks:
+                try:
+                    record = evaluate_point(
+                        netlists[circuit],
+                        point,
+                        base_config=self.base_config,
+                        cache=caches[circuit],
+                        scenario=scenario,
+                    )
+                except (ValueError, KeyError, TraceTooWeakError) as error:
+                    failures[key] = SweepFailure(
+                        circuit=circuit,
+                        label=point.label(),
+                        error=str(error),
+                        scenario=scenario.label(),
+                    )
+                    continue
+                record.circuit = circuit
+                fresh[key] = record
+                if self.store is not None:
+                    self.store.append(record)
+            stats.synthesize_calls += (
+                sum(c.synthesize_calls for c in caches.values()) - before
+            )
+            # Serial "batches" mirror the parallel grouping for stats.
+            stats.n_batches += len(
+                {(circuit, point.policy) for _k, circuit, _s, point in tasks}
+            )
+        else:
+            # Batch by synthesis-stage group (circuit x policy) so each
+            # batch shares one characterization/tree/policy run;
+            # scenarios ride in the same batch because they never change
+            # the synthesized design.
+            groups: dict[
+                tuple[str, int],
+                list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
+            ] = {}
+            for key, circuit, scenario, point in tasks:
+                groups.setdefault((circuit, point.policy), []).append(
+                    (key, scenario, point)
+                )
+            stats.n_batches += len(groups)
+            own_pool = pool is None
+            if own_pool:
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                futures = [
+                    pool.submit(
+                        _evaluate_batch, circuit, netlists[circuit],
+                        jobs, self.base_config,
+                        not own_pool,  # long-lived pool -> worker caches
+                    )
+                    for (circuit, _policy), jobs in groups.items()
+                ]
+                # Persist batches as they finish, not in submission order,
+                # so a kill mid-run loses at most the in-flight batches.
+                for future in as_completed(futures):
+                    records, synth_calls, batch_failures = future.result()
+                    stats.synthesize_calls += synth_calls
+                    failures.update(batch_failures)
+                    for key, record in records:
+                        fresh[key] = record
+                    if self.store is not None:
+                        self.store.extend([r for _k, r in records])
+            finally:
+                if own_pool:
+                    pool.shutdown()
+        stats.n_evaluated += len(fresh)
+        stats.n_failed += len(failures)
+        return fresh, failures
+
+    def _load_store(self) -> dict[_TaskKey, ExplorationRecord]:
+        """Records already on disk, keyed for resume."""
+        if self.store is None:
+            return {}
+        return {r.key(): r for r in self.store.load()}
+
     def run(
         self,
         spec: SweepSpec,
         netlists: dict[str, Netlist] | None = None,
         resume: bool = False,
     ) -> SweepResult:
-        """Execute the sweep.
+        """Execute a full-factorial sweep.
 
         Args:
             spec: the exploration space.
@@ -367,97 +538,199 @@ class SweepEngine:
 
         # Dedupe repeated axis values (e.g. the same circuit listed
         # twice): one evaluation, one record, consistent stats.
-        tasks = []
-        seen: set[tuple] = set()
+        tasks: list[_Task] = []
+        seen: set[_TaskKey] = set()
         for circuit, scenario, point in spec.points():
-            key = (circuit, *scenario.identity(), *point.identity())
+            key = _task_key(circuit, scenario, point)
             if key not in seen:
                 seen.add(key)
                 tasks.append((key, circuit, scenario, point))
         stats = SweepStats(n_points=len(tasks), workers=self.workers)
 
-        resumed: dict[tuple, ExplorationRecord] = {}
-        if resume and self.store is not None:
-            on_disk = {r.key(): r for r in self.store.load()}
+        resumed: dict[_TaskKey, ExplorationRecord] = {}
+        if resume:
+            on_disk = self._load_store()
             wanted = {key for key, *_rest in tasks}
             resumed = {k: v for k, v in on_disk.items() if k in wanted}
-        pending = [
-            (circuit, scenario, point)
-            for key, circuit, scenario, point in tasks
-            if key not in resumed
-        ]
+        pending = [task for task in tasks if task[0] not in resumed]
         stats.n_resumed = len(tasks) - len(pending)
 
-        # Batch by synthesis-stage group (circuit x policy) so each batch
-        # shares one characterization/tree/policy run; scenarios ride in
-        # the same batch because they never change the synthesized design.
-        groups: dict[
-            tuple[str, int], list[tuple[ScenarioSpec, DesignPoint]]
-        ] = {}
-        for circuit, scenario, point in pending:
-            groups.setdefault((circuit, point.policy), []).append(
-                (scenario, point)
-            )
-        stats.n_batches = len(groups)
+        fresh, failures = self._execute_tasks(pending, netlists, stats)
 
-        fresh: dict[tuple, ExplorationRecord] = {}
-        failures: list[SweepFailure] = []
-        if self.workers == 1:
-            # One cache per circuit key: the stage memo is keyed on
-            # netlist.name, and two file-loaded circuits may share a name.
-            caches = {circuit: SynthesisCache() for circuit in netlists}
-            for circuit, scenario, point in pending:
-                try:
-                    record = evaluate_point(
-                        netlists[circuit],
-                        point,
-                        base_config=self.base_config,
-                        cache=caches[circuit],
-                        scenario=scenario,
-                    )
-                except (ValueError, KeyError, TraceTooWeakError) as error:
-                    failures.append(
-                        SweepFailure(
-                            circuit=circuit,
-                            label=point.label(),
-                            error=str(error),
-                            scenario=scenario.label(),
-                        )
-                    )
-                    continue
-                record.circuit = circuit
-                fresh[record.key()] = record
-                if self.store is not None:
-                    self.store.append(record)
-            stats.synthesize_calls = sum(
-                cache.synthesize_calls for cache in caches.values()
-            )
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(
-                        _evaluate_batch, circuit, netlists[circuit],
-                        jobs, self.base_config,
-                    )
-                    for (circuit, _policy), jobs in groups.items()
-                ]
-                # Persist batches as they finish, not in submission order,
-                # so a kill mid-run loses at most the in-flight batches.
-                for future in as_completed(futures):
-                    records, synth_calls, batch_failures = future.result()
-                    stats.synthesize_calls += synth_calls
-                    failures.extend(batch_failures)
-                    for record in records:
-                        fresh[record.key()] = record
-                    if self.store is not None:
-                        self.store.extend(records)
-
-        stats.n_evaluated = len(fresh)
-        stats.n_failed = len(failures)
         ordered = []
         for key, *_rest in tasks:
             record = resumed.get(key) or fresh.get(key)
             if record is not None:
                 ordered.append(record)
         stats.wall_s = time.perf_counter() - start
-        return SweepResult(records=ordered, stats=stats, failures=failures)
+        return SweepResult(
+            records=ordered, stats=stats, failures=list(failures.values())
+        )
+
+    def run_search(
+        self,
+        strategy: SearchStrategy,
+        circuits: tuple[str, ...] = ("s27",),
+        scenarios: tuple[ScenarioSpec, ...] = (ScenarioSpec(),),
+        netlists: dict[str, Netlist] | None = None,
+        resume: bool = False,
+        max_generations: int = 64,
+    ) -> SweepResult:
+        """Drive an ask/tell search strategy through the sweep machinery.
+
+        Each generation the strategy proposes a batch of
+        :class:`~repro.dse.strategies.Proposal` s; every proposal is
+        crossed with ``circuits`` x ``scenarios``, deduplicated against
+        everything already evaluated (including previous generations and
+        — with ``resume=True`` — the JSONL store, whose keys are
+        identical to :meth:`run`'s), evaluated through the shared
+        synthesis-cache/process-pool/store path, and handed back via
+        ``tell``.
+
+        Screening proposals (``scenario_scale != 1``) are evaluated
+        under the correspondingly scaled scenarios; their records stream
+        to the store like any others but are *excluded* from the
+        result's ``records`` and ``failures``, which only cover the
+        requested ``scenarios`` (the stats still count every
+        evaluation, screening included).
+
+        Args:
+            strategy: the search to drive.
+            circuits: circuits every proposal is evaluated on.
+            scenarios: harvest environments every proposal is evaluated
+                under.
+            netlists: circuit name -> netlist mapping; roster names are
+                loaded automatically when omitted.
+            resume: reuse records already present in the result store.
+            max_generations: hard stop for strategies that never return
+                an empty ask.
+
+        Returns:
+            A :class:`SweepResult` whose records are the full-fidelity
+            evaluations in first-evaluation order.
+        """
+        start = time.perf_counter()
+        if not circuits:
+            raise ValueError("circuits must be non-empty")
+        if not scenarios:
+            raise ValueError("scenarios must be non-empty")
+        netlists = dict(netlists or {})
+        for name in circuits:
+            if name not in netlists:
+                netlists[name] = load_circuit(name)
+
+        stats = SweepStats(workers=self.workers)
+        on_disk = self._load_store() if resume else {}
+        evaluated: dict[_TaskKey, ExplorationRecord] = {}
+        failed: dict[_TaskKey, SweepFailure] = {}
+        caches: dict[str, SynthesisCache] = {}
+        # One pool for the whole search: worker processes survive across
+        # generations, so their process-global synthesis caches keep a
+        # (circuit, policy) stage warm from generation 1 to generation N
+        # — without this, parallel searches would re-synthesize every
+        # stage each generation.
+        pool = (
+            ProcessPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
+
+        full_keys: set[_TaskKey] = set()
+        try:
+            self._search_loop(
+                strategy, circuits, scenarios, netlists, stats,
+                on_disk, evaluated, failed, caches, pool, max_generations,
+                full_keys,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        # Screening evaluations (scaled scenarios the user never asked
+        # for) are engine internals: they count in the stats, but the
+        # result's records AND failures only cover the requested
+        # scenarios — a point that failed only during screening shows up
+        # again (and gets reported) when promoted to full fidelity.
+        records = [
+            evaluated[key] for key in evaluated if key in full_keys
+        ]
+        failures = [failed[key] for key in failed if key in full_keys]
+        stats.wall_s = time.perf_counter() - start
+        return SweepResult(records=records, stats=stats, failures=failures)
+
+    def _search_loop(
+        self,
+        strategy: SearchStrategy,
+        circuits: tuple[str, ...],
+        scenarios: tuple[ScenarioSpec, ...],
+        netlists: dict[str, Netlist],
+        stats: SweepStats,
+        on_disk: dict[_TaskKey, ExplorationRecord],
+        evaluated: dict[_TaskKey, ExplorationRecord],
+        failed: dict[_TaskKey, SweepFailure],
+        caches: dict[str, SynthesisCache],
+        pool: ProcessPoolExecutor | None,
+        max_generations: int,
+        full_keys: set[_TaskKey],
+    ) -> None:
+        """The ask/evaluate/tell generations of :meth:`run_search`.
+
+        ``full_keys`` collects every task key whose effective scenario
+        is one the caller requested (``scenario_scale == 1`` proposals),
+        so the result can separate full-fidelity outcomes from
+        screening internals.
+        """
+        requested = {scenario.identity() for scenario in scenarios}
+        for _generation in range(max_generations):
+            proposals = strategy.ask()
+            if not proposals:
+                break
+            stats.n_generations += 1
+
+            proposal_keys: list[tuple[object, list[_TaskKey]]] = []
+            pending: list[_Task] = []
+            pending_keys: set[_TaskKey] = set()
+            for proposal in proposals:
+                keys = []
+                for circuit in circuits:
+                    for base_scenario in scenarios:
+                        scenario = proposal.scenario_for(base_scenario)
+                        key = _task_key(circuit, scenario, proposal.point)
+                        keys.append(key)
+                        if scenario.identity() in requested:
+                            full_keys.add(key)
+                        if (
+                            key in evaluated
+                            or key in failed
+                            or key in pending_keys
+                        ):
+                            continue
+                        stats.n_points += 1
+                        if key in on_disk:
+                            evaluated[key] = on_disk[key]
+                            stats.n_resumed += 1
+                            continue
+                        pending_keys.add(key)
+                        pending.append((key, circuit, scenario,
+                                        proposal.point))
+                proposal_keys.append((proposal, keys))
+
+            fresh, failures = self._execute_tasks(
+                pending, netlists, stats, caches=caches, pool=pool
+            )
+            evaluated.update(fresh)
+            failed.update(failures)
+
+            outcomes = [
+                EvalOutcome(
+                    proposal=proposal,
+                    records=[
+                        evaluated[key] for key in keys if key in evaluated
+                    ],
+                    failures=[
+                        failed[key] for key in keys if key in failed
+                    ],
+                )
+                for proposal, keys in proposal_keys
+            ]
+            strategy.tell(outcomes)

@@ -266,6 +266,16 @@ def evaluate_point(
 
     env = build_environment(design, scenario=scenario)
     thresholds = env.thresholds
+    # Knob semantics: ``safe_margin_scale`` is relative to the derived
+    # default margin of whatever set it is applied to, and ``scaled``
+    # multiplies every threshold (including that margin and the cascade
+    # gap) uniformly.  Both operations are linear in energy, so the two
+    # knobs compose commutatively — margin-then-scale and
+    # scale-then-margin yield the same set (to float rounding); the
+    # final margin is ``safe_margin_scale x default x threshold_scale``
+    # either way, which is the intended meaning of "a relative width
+    # under a uniformly rescaled threshold set".  Pinned by the
+    # commutativity property test in tests/test_properties.py.
     if point.safe_margin_scale is not None:
         thresholds = thresholds.with_safe_margin(
             point.safe_margin_scale * thresholds.safe_zone_margin_j

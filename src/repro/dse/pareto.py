@@ -2,7 +2,8 @@
 
 Policy 1 maximizes resiliency, Policy 2 efficiency, Policy 3 balances the
 two (paper Fig. 2 discussion).  The DSE reports the non-dominated set over
-(PDP, re-execution exposure).
+(PDP, re-execution exposure), and search strategies compare fronts by the
+hypervolume they dominate.
 """
 
 from __future__ import annotations
@@ -16,6 +17,41 @@ if TYPE_CHECKING:
 T = TypeVar("T")
 
 
+def _front_2d(
+    items: Sequence[T], scores: list[tuple[float, ...]]
+) -> list[T]:
+    """O(n log n) non-dominated filter for exactly two objectives.
+
+    Sort by (a, b); sweeping in that order, an item is dominated iff an
+    item with strictly smaller ``a`` had ``b`` no larger, or an item
+    with the same ``a`` had strictly smaller ``b``.  Equal (a, b) pairs
+    never dominate each other, so exact duplicates all survive —
+    matching the generic quadratic filter bit for bit.  Output keeps the
+    original item order.
+    """
+    order = sorted(range(len(items)), key=lambda i: scores[i])
+    keep = [False] * len(items)
+    best_b_below = float("inf")  # min b among strictly smaller a
+    position = 0
+    while position < len(order):
+        a = scores[order[position]][0]
+        group_end = position
+        while group_end < len(order) and scores[order[group_end]][0] == a:
+            group_end += 1
+        group = order[position:group_end]
+        group_min_b = min(scores[i][1] for i in group)
+        for i in group:
+            b = scores[i][1]
+            if best_b_below <= b:  # dominated by a strictly-smaller-a item
+                continue
+            if b > group_min_b:  # dominated within the equal-a group
+                continue
+            keep[i] = True
+        best_b_below = min(best_b_below, group_min_b)
+        position = group_end
+    return [item for flag, item in zip(keep, items) if flag]
+
+
 def pareto_front(
     items: Sequence[T],
     objectives: Sequence[Callable[[T], float]],
@@ -23,7 +59,9 @@ def pareto_front(
     """Non-dominated subset of ``items`` under minimize-all objectives.
 
     An item dominates another if it is no worse on every objective and
-    strictly better on at least one.
+    strictly better on at least one.  The common two-objective case runs
+    in O(n log n) via a sort-and-sweep; other arities fall back to the
+    generic O(n²) filter.
 
     Args:
         items: candidate points.
@@ -35,6 +73,8 @@ def pareto_front(
     if not objectives:
         raise ValueError("at least one objective is required")
     scores = [tuple(obj(item) for obj in objectives) for item in items]
+    if len(objectives) == 2:
+        return _front_2d(items, scores)
 
     def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
         return all(x <= y for x, y in zip(a, b)) and any(
@@ -50,6 +90,41 @@ def pareto_front(
         ):
             front.append(item)
     return front
+
+
+def hypervolume_2d(
+    points: Sequence[tuple[float, float]],
+    reference: tuple[float, float],
+) -> float:
+    """Area dominated by ``points`` up to ``reference`` (minimization).
+
+    The standard front-quality scalar: how much of the rectangle below
+    the reference point the set's non-dominated front covers.  Points at
+    or beyond the reference in either objective contribute nothing.
+
+    Args:
+        points: (objective-1, objective-2) pairs; need not be a front —
+            dominated points are filtered first.
+        reference: the (worst-acceptable) corner the area is measured
+            against.
+
+    Returns:
+        The dominated area (0.0 for an empty or fully out-of-bounds
+        set).
+    """
+    rx, ry = reference
+    front = pareto_front(
+        [p for p in points if p[0] < rx and p[1] < ry],
+        objectives=[lambda p: p[0], lambda p: p[1]],
+    )
+    area = 0.0
+    previous_y = ry
+    for x, y in sorted(set(front)):
+        if y >= previous_y:
+            continue
+        area += (rx - x) * (previous_y - y)
+        previous_y = y
+    return area
 
 
 def record_front(

@@ -1,0 +1,49 @@
+"""PDP comparability: the one normalization rule everything shares.
+
+PDP values are only comparable inside one (scenario, circuit) pair — a
+stingy environment inflates every point's PDP, and a bigger circuit
+simply costs more.  Every consumer that ranks records across pairs
+(:func:`repro.metrics.robustness_report`, the search strategies'
+candidate scoring) must therefore normalize to the pair's best first.
+This module is the single home of that rule, so a change to it (e.g.
+degenerate-denominator handling) applies everywhere at once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.dse.explorer import ExplorationRecord
+
+
+def best_pdp_by_group(
+    records: Iterable["ExplorationRecord"],
+) -> dict[tuple[str, str], float]:
+    """Best (minimum) PDP per (scenario label, circuit) pair.
+
+    The normalization denominator for :func:`pdp_degradation`.
+    """
+    best: dict[tuple[str, str], float] = {}
+    for record in records:
+        key = (record.scenario.label(), record.circuit)
+        if key not in best or record.pdp_js < best[key]:
+            best[key] = record.pdp_js
+    return best
+
+
+def pdp_degradation(pdp_js: float, best_pdp_js: float) -> float:
+    """``pdp_js`` relative to its pair's best: 1.0 = the winner.
+
+    The winner is 1.0 *by definition*, even when the pair's best PDP is
+    zero (a degenerate trace/threshold combination) — mapping the winner
+    to ``inf`` would report the pair as having no good design at all.
+    Non-winners against a zero denominator are incomparably worse:
+    ``inf``.
+    """
+    if pdp_js == best_pdp_js:
+        return 1.0
+    if best_pdp_js > 0:
+        return pdp_js / best_pdp_js
+    return float("inf")

@@ -12,6 +12,7 @@ single design point.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 from repro.core.replacement import ReplacementCriteria
@@ -106,6 +107,8 @@ class JsonlResultStore:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        #: Malformed lines skipped by the most recent :meth:`load`.
+        self.last_load_skipped = 0
 
     def append(self, record: ExplorationRecord) -> None:
         """Append one record, flushed to disk immediately."""
@@ -126,19 +129,54 @@ class JsonlResultStore:
     def load(self) -> list[ExplorationRecord]:
         """All records currently on disk (empty list if the file is new).
 
-        Truncated trailing lines (a crash mid-write) are skipped rather
-        than failing the resume.
+        A truncated *final* line (the expected artifact of a crash
+        mid-append) is skipped silently.  Any other malformed line —
+        mid-file corruption, a final line that parses as JSON but lacks
+        record fields — is also skipped so a resume still proceeds, but
+        with a :class:`UserWarning` naming the file and the damaged line
+        numbers: silently shrinking the store would make the engine
+        quietly re-evaluate points it already paid for.  The skipped
+        count of the most recent load is kept on ``last_load_skipped``.
         """
         if not self.path.exists():
+            self.last_load_skipped = 0
             return []
         records = []
+        bad: list[int] = []
+        final_bad_is_truncation = False
+        last_content_lineno = 0
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
+                last_content_lineno = lineno
                 try:
-                    records.append(record_from_dict(json.loads(line)))
-                except (json.JSONDecodeError, KeyError):
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    bad.append(lineno)
+                    final_bad_is_truncation = True
                     continue
+                try:
+                    records.append(record_from_dict(data))
+                except (AttributeError, KeyError, TypeError, ValueError):
+                    # Valid JSON that is not a record dict: 'null', a
+                    # list, wrong/extra fields, an unknown technology...
+                    bad.append(lineno)
+                    final_bad_is_truncation = False
+        self.last_load_skipped = len(bad)
+        tolerated_tail = (
+            bad == [last_content_lineno] and final_bad_is_truncation
+        )
+        if bad and not tolerated_tail:
+            shown = ", ".join(str(n) for n in bad[:5])
+            if len(bad) > 5:
+                shown += ", ..."
+            warnings.warn(
+                f"{self.path}: skipped {len(bad)} malformed line(s) "
+                f"(line {shown}); only a truncated final line is an "
+                "expected crash artifact — anything else silently "
+                "shrinks resume and forces re-evaluation",
+                stacklevel=2,
+            )
         return records

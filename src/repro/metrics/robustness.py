@@ -65,20 +65,19 @@ def robustness_report(
     Returns:
         Entries sorted most-robust first.
     """
+    from repro.dse.scoring import best_pdp_by_group, pdp_degradation
+
     # Best PDP per (scenario, circuit): the normalization denominator.
-    best: dict[tuple[str, str], float] = {}
-    for r in records:
-        key = (r.scenario.label(), r.circuit)
-        if key not in best or r.pdp_js < best[key]:
-            best[key] = r.pdp_js
+    best = best_pdp_by_group(records)
 
     # Degradation profile per (circuit, design point).
     profiles: dict[tuple, dict[str, float]] = {}
     labels: dict[tuple, tuple[str, str]] = {}
     for r in records:
         key = (r.circuit, *r.point.identity())
-        denominator = best[(r.scenario.label(), r.circuit)]
-        ratio = r.pdp_js / denominator if denominator > 0 else float("inf")
+        ratio = pdp_degradation(
+            r.pdp_js, best[(r.scenario.label(), r.circuit)]
+        )
         profiles.setdefault(key, {})[r.scenario.label()] = ratio
         labels[key] = (r.circuit, r.point.label())
 

@@ -9,7 +9,7 @@ and budget/partition laws of the replacement procedure.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import (
@@ -187,3 +187,114 @@ def test_replacement_schedule_covers_everything(spec, divisor):
     assert all(p.commit_bits >= 3 for p in plan.schedule())
     total = sum(p.energy_j for p in plan.schedule())
     assert total <= graph.total_energy_j * (1 + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# DSE: Pareto fast path and threshold-knob composition.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=6),
+        ),
+        max_size=40,
+    )
+)
+def test_pareto_front_2d_matches_bruteforce(points):
+    """The O(n log n) two-objective sweep == the generic O(n²) filter.
+
+    Small integer coordinates force heavy ties and exact duplicates —
+    the cases where a sort-based sweep is easiest to get wrong.
+    """
+    from repro.dse import pareto_front
+
+    objectives = [lambda p: p[0], lambda p: p[1]]
+    fast = pareto_front(points, objectives)
+
+    def dominates(a, b):
+        return (
+            a[0] <= b[0]
+            and a[1] <= b[1]
+            and (a[0] < b[0] or a[1] < b[1])
+        )
+
+    brute = [
+        p
+        for i, p in enumerate(points)
+        if not any(
+            dominates(points[j], p) for j in range(len(points)) if j != i
+        )
+    ]
+    assert fast == brute  # same members, same (original) order
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        max_size=20,
+    )
+)
+def test_hypervolume_monotone_in_the_point_set(points):
+    """Adding points never shrinks the dominated area."""
+    from repro.dse import hypervolume_2d
+
+    reference = (1.5, 1.5)
+    for cut in range(len(points) + 1):
+        partial = hypervolume_2d(points[:cut], reference)
+        full = hypervolume_2d(points, reference)
+        assert partial <= full + 1e-12
+
+
+def test_hypervolume_single_point_rectangle():
+    from repro.dse import hypervolume_2d
+
+    assert hypervolume_2d([(1.0, 2.0)], (3.0, 5.0)) == pytest.approx(6.0)
+    assert hypervolume_2d([], (3.0, 5.0)) == 0.0
+    # Points at or past the reference contribute nothing.
+    assert hypervolume_2d([(3.0, 1.0), (1.0, 5.0)], (3.0, 5.0)) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    e_max=st.floats(min_value=1e-9, max_value=1.0),
+    factor=st.floats(min_value=0.2, max_value=3.0),
+    margin_scale=st.floats(min_value=0.05, max_value=5.0),
+)
+def test_threshold_scale_and_safe_margin_commute(e_max, factor, margin_scale):
+    """The two DSE threshold knobs compose commutatively.
+
+    ``safe_margin_scale`` widens the zone relative to the derived
+    default margin of the set it is applied to, and ``scaled``
+    multiplies every threshold uniformly; both are linear in energy, so
+    margin-then-scale (what ``evaluate_point`` does) equals
+    scale-then-margin up to float rounding — the margin is *not*
+    double-scaled: it ends at ``margin_scale x default x factor`` on
+    both routes.
+    """
+    base = ThresholdSet.from_e_max(e_max)
+    margin = margin_scale * base.safe_zone_margin_j
+    assume(margin <= base.max_safe_margin_j())
+
+    margin_then_scale = base.with_safe_margin(margin).scaled(factor)
+    scaled = base.scaled(factor)
+    scale_then_margin = scaled.with_safe_margin(
+        margin_scale * scaled.safe_zone_margin_j
+    )
+    for name in (
+        "off_j", "backup_j", "safe_j", "sense_j", "compute_j",
+        "transmit_j", "e_max_j",
+    ):
+        a = getattr(margin_then_scale, name)
+        b = getattr(scale_then_margin, name)
+        assert a == pytest.approx(b, rel=1e-9, abs=1e-30)
+    assert margin_then_scale.safe_zone_margin_j == pytest.approx(
+        margin_scale * base.safe_zone_margin_j * factor, rel=1e-9
+    )

@@ -379,13 +379,16 @@ class TestDseWiring:
         )
         result = SweepEngine(workers=1).run(spec)
         groups = result.by_scenario()
-        assert set(groups) == {"paper-fig5", "office-solar"}
+        assert set(groups) == {
+            ("paper-fig5", "s27"),
+            ("office-solar", "s27"),
+        }
         assert all(len(records) == 2 for records in groups.values())
         fronts = result.fronts_by_scenario()
         assert set(fronts) == set(groups)
         best = result.best_by_scenario()
-        for label, record in best.items():
-            assert record.pdp_js == min(r.pdp_js for r in groups[label])
+        for key, record in best.items():
+            assert record.pdp_js == min(r.pdp_js for r in groups[key])
         # Cross-scenario aggregates are guarded: PDP is not comparable
         # across environments.
         with pytest.raises(ValueError, match="best_by_scenario"):
@@ -424,6 +427,35 @@ class TestRobustness:
                 if e.degradation[label] == pytest.approx(1.0)
             ]
             assert winners
+
+    def test_zero_best_pdp_keeps_the_winner_at_one(self):
+        # A degenerate (scenario, circuit) pair whose best PDP is 0 used
+        # to map EVERY design to inf — including the winner itself.  The
+        # winner must stay at 1.0 by definition; only the losers are
+        # incomparably worse.
+        from repro.dse import ExplorationRecord
+
+        def record(pdp, policy):
+            return ExplorationRecord(
+                point=DesignPoint(policy=policy),
+                pdp_js=pdp,
+                energy_j=1.0,
+                active_time_s=1.0,
+                n_backups=1,
+                reexec_energy_j=1.0,
+                n_barriers=1,
+                circuit="s27",
+            )
+
+        entries = robustness_report([record(0.0, 1), record(2.0, 2)])
+        by_label = {e.label: e for e in entries}
+        winner = by_label[DesignPoint(policy=1).label()]
+        loser = by_label[DesignPoint(policy=2).label()]
+        assert winner.degradation["paper-fig5"] == 1.0
+        assert winner.worst == 1.0
+        assert loser.degradation["paper-fig5"] == float("inf")
+        # And the ranking still prefers the winner.
+        assert entries[0] is winner
 
     def test_best_robust_minimizes_worst_case(self, cross_scenario_records):
         entries = robustness_report(cross_scenario_records)
@@ -498,8 +530,8 @@ class TestCli:
         ])
         out = capsys.readouterr().out
         assert code == 0
-        assert "[paper-fig5] pareto front" in out
-        assert "[rf-markov@7] pareto front" in out
+        assert "[paper-fig5 · s27] pareto front" in out
+        assert "[rf-markov@7 · s27] pareto front" in out
         assert "robust best:" in out
         lines = path.read_text().splitlines()
         assert len(lines) == 2
@@ -549,4 +581,4 @@ class TestCli:
         ])
         out = capsys.readouterr().out
         assert code == 0
-        assert "field.csv] pareto front" in out
+        assert "field.csv · s27] pareto front" in out

@@ -279,7 +279,7 @@ class TestResultStore:
         assert len(second.records) == 3
         assert len(path.read_text().splitlines()) == 3
 
-    def test_resume_tolerates_truncated_line(self, tmp_path):
+    def test_resume_tolerates_truncated_line(self, tmp_path, recwarn):
         path = tmp_path / "results.jsonl"
         small = SweepSpec(
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
@@ -289,7 +289,60 @@ class TestResultStore:
         with path.open("a") as handle:
             handle.write('{"circuit": "s27", "point": {"pol')  # crash artifact
         store = JsonlResultStore(path)
+        # The expected crash artifact — a truncated FINAL line — loads
+        # silently.
         assert len(store.load()) == 1
+        assert store.last_load_skipped == 1
+        assert len(recwarn) == 0
+
+    def test_mid_file_corruption_warns(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        spec = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(0.5, 1.0, 2.0),
+            safe_zones=(True,),
+        )
+        SweepEngine(workers=1, store=JsonlResultStore(path)).run(spec)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt a MIDDLE line
+        path.write_text("\n".join(lines) + "\n")
+        store = JsonlResultStore(path)
+        with pytest.warns(UserWarning, match="skipped 1 malformed"):
+            records = store.load()
+        # The docstring used to promise only trailing truncation was
+        # tolerated while the code silently dropped corruption anywhere,
+        # quietly shrinking resume; now the damage is loud.
+        assert len(records) == 2
+        assert store.last_load_skipped == 1
+
+    def test_non_record_json_lines_warn_instead_of_crashing(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        small = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,),
+        )
+        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        good = path.read_text()
+        # Valid JSON that is not a record dict, in the middle and at
+        # the end — every shape must skip+warn, never raise.
+        path.write_text("null\n" + good + '{"point": [1, 2]}\n42\n')
+        store = JsonlResultStore(path)
+        with pytest.warns(UserWarning, match="skipped 3 malformed"):
+            records = store.load()
+        assert len(records) == 1
+        assert store.last_load_skipped == 3
+
+    def test_well_formed_final_line_missing_fields_warns(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        small = SweepSpec(
+            circuits=("s27",), policies=(3,), budget_scales=(1.0,),
+            safe_zones=(True,),
+        )
+        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        with path.open("a") as handle:
+            handle.write('{"circuit": "s27"}\n')  # parses, but no record
+        store = JsonlResultStore(path)
+        with pytest.warns(UserWarning, match="malformed"):
+            assert len(store.load()) == 1
 
     def test_parallel_streaming(self, tmp_path):
         path = tmp_path / "results.jsonl"
@@ -306,12 +359,22 @@ class TestResultStore:
 
 
 class TestReporting:
-    def test_best_is_min_pdp(self, serial_result):
-        best = serial_result.best()
-        assert best.pdp_js == min(r.pdp_js for r in serial_result.records)
+    def test_best_is_min_pdp_single_circuit(self, serial_result):
+        from repro.dse import SweepResult
+
+        s27_only = SweepResult(
+            records=[r for r in serial_result.records if r.circuit == "s27"]
+        )
+        best = s27_only.best()
+        assert best.pdp_js == min(r.pdp_js for r in s27_only.records)
 
     def test_front_is_nondominated(self, serial_result):
-        front = serial_result.front()
+        from repro.dse import SweepResult
+
+        s27_only = SweepResult(
+            records=[r for r in serial_result.records if r.circuit == "s27"]
+        )
+        front = s27_only.front()
         assert front
         for record in front:
             dominated = any(
@@ -321,9 +384,46 @@ class TestReporting:
                     other.pdp_js < record.pdp_js
                     or other.reexec_energy_j < record.reexec_energy_j
                 )
-                for other in serial_result.records
+                for other in s27_only.records
             )
             assert not dominated
+
+    def test_cross_circuit_aggregates_rejected(self, serial_result):
+        # Regression for the cross-circuit PDP comparability hole: the
+        # sweep spans s27 and b02, and raw PDP is not comparable across
+        # circuits (the smaller circuit always "wins"), so the
+        # single-group aggregates must refuse to crown anything.
+        with pytest.raises(ValueError, match="best_by_scenario"):
+            serial_result.best()
+        with pytest.raises(ValueError, match="fronts_by_scenario"):
+            serial_result.front()
+
+    def test_best_by_scenario_groups_by_circuit(self, serial_result):
+        # The old label-only grouping collapsed both circuits into one
+        # "paper-fig5" bucket and took min over raw PDP, crowning
+        # whichever circuit was smaller.  Each (scenario, circuit) pair
+        # must get its own winner, drawn from its own circuit.
+        winners = serial_result.best_by_scenario()
+        assert set(winners) == {("paper-fig5", "s27"), ("paper-fig5", "b02")}
+        for (_scenario, circuit), record in winners.items():
+            assert record.circuit == circuit
+            group = [
+                r for r in serial_result.records if r.circuit == circuit
+            ]
+            assert record.pdp_js == min(r.pdp_js for r in group)
+        # The old behavior: one global min across circuits.  Both
+        # winners must be present, not just the cheaper circuit's.
+        global_min = min(r.pdp_js for r in serial_result.records)
+        assert sorted(
+            r.pdp_js for r in winners.values()
+        ) != [global_min, global_min]
+
+    def test_fronts_by_scenario_stay_within_circuit(self, serial_result):
+        for (_scenario, circuit), front in (
+            serial_result.fronts_by_scenario().items()
+        ):
+            assert front
+            assert {r.circuit for r in front} == {circuit}
 
 
 class TestSweepCli:
