@@ -13,11 +13,17 @@ shows the largest DIAC gain, and optimized DIAC always adds on top.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.metrics import (
     format_paper_vs_measured,
     paper_vs_measured,
     suite_improvements,
 )
+
+#: Every claim here averages over whole suites, so a trimmed
+#: ``--bench-roster`` run skips the module (see benchmarks/conftest.py).
+pytestmark = pytest.mark.full_roster
 
 #: Acceptable absolute deviation from the paper's percentages.
 BAND_PP = 12.0

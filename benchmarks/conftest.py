@@ -2,17 +2,105 @@
 
 The full-suite evaluation (24 circuits x 4 schemes) is computed once per
 session and shared by the Fig. 5 bench and the in-text-averages bench.
+
+Targeted bench runs (``pytest benchmarks/bench_scaling.py``, quick CI
+smokes) used to pay the full 24-circuit cost anyway, because the
+session-scoped fixture evaluated the whole roster regardless of which
+tests were selected.  The roster is now trimmable:
+
+* ``pytest benchmarks --bench-roster 6`` — first N roster circuits;
+* ``pytest benchmarks --bench-roster s27,s298,b02`` — named circuits;
+* ``REPRO_BENCH_ROSTER=6 pytest benchmarks`` — same knob as an
+  environment variable (the command-line option wins when both are set).
+
+Trimming is for *iteration speed*; published Fig. 5 numbers always come
+from the full roster (the default).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.evaluation import CircuitEvaluation, evaluate_suite
-from repro.suite import ROSTER
+from repro.suite import BY_NAME, ROSTER
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Register the roster-subset knob."""
+    parser.addoption(
+        "--bench-roster",
+        default=None,
+        metavar="N|NAMES",
+        help="benchmark roster subset: a count of leading roster circuits "
+        "or comma-separated circuit names (default: the full roster; "
+        "falls back to $REPRO_BENCH_ROSTER)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    """Resolve the roster knob once, failing fast on a bad spec."""
+    config.addinivalue_line(
+        "markers",
+        "full_roster: the test asserts roster-wide aggregates and is "
+        "skipped when --bench-roster trims the suite",
+    )
+    spec = config.getoption("--bench-roster")
+    if spec is None:
+        spec = os.environ.get("REPRO_BENCH_ROSTER")
+    config._bench_roster = _roster_subset(spec)  # type: ignore[attr-defined]
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """Skip roster-wide aggregate benches when the roster is trimmed."""
+    roster = config._bench_roster  # type: ignore[attr-defined]
+    if len(roster) == len(ROSTER):
+        return
+    skip = pytest.mark.skip(
+        reason="asserts roster-wide aggregates; run without --bench-roster"
+    )
+    for item in items:
+        if item.get_closest_marker("full_roster"):
+            item.add_marker(skip)
+
+
+def _roster_subset(spec: str | None) -> list[str]:
+    """Resolve the roster knob to circuit names.
+
+    Raises:
+        pytest.UsageError: for a non-positive count or an unknown name.
+    """
+    names = [b.name for b in ROSTER]
+    if spec is None or spec.strip().lower() in ("", "all"):
+        return names
+    spec = spec.strip()
+    if spec.isdigit():
+        count = int(spec)
+        if count < 1:
+            raise pytest.UsageError("--bench-roster count must be >= 1")
+        return names[:count]
+    chosen = [part.strip() for part in spec.split(",") if part.strip()]
+    unknown = [name for name in chosen if name not in BY_NAME]
+    if unknown:
+        raise pytest.UsageError(
+            f"--bench-roster: unknown circuit(s) {', '.join(unknown)}; "
+            f"roster: {', '.join(names)}"
+        )
+    if not chosen:
+        raise pytest.UsageError("--bench-roster selected no circuits")
+    return chosen
 
 
 @pytest.fixture(scope="session")
-def suite_evaluations() -> list[CircuitEvaluation]:
-    """Evaluations for the complete Fig. 5 roster."""
-    return evaluate_suite([b.name for b in ROSTER])
+def bench_roster(request: pytest.FixtureRequest) -> list[str]:
+    """Circuit names the session's benches evaluate (knob-aware)."""
+    return request.config._bench_roster  # type: ignore[attr-defined]
+
+
+@pytest.fixture(scope="session")
+def suite_evaluations(bench_roster: list[str]) -> list[CircuitEvaluation]:
+    """Evaluations for the selected roster (complete Fig. 5 by default)."""
+    return evaluate_suite(bench_roster)

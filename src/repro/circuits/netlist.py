@@ -14,7 +14,10 @@ as sources and whose inputs act as sinks for combinational analysis.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from functools import cached_property
+from types import MappingProxyType
 
 from repro.circuits.gates import (
     COMBINATIONAL_TYPES,
@@ -23,6 +26,23 @@ from repro.circuits.gates import (
     GateType,
     check_arity,
 )
+
+#: Topological-order caching switch (see
+#: :meth:`Netlist.topological_order`).  The perf harness flips this off
+#: to time the uncached baseline; the order is identical either way.
+_CACHE_TOPO_ORDER = True
+
+
+@contextmanager
+def topo_order_cache_disabled() -> Iterator[None]:
+    """Temporarily disable :meth:`Netlist.topological_order` caching."""
+    global _CACHE_TOPO_ORDER
+    previous = _CACHE_TOPO_ORDER
+    _CACHE_TOPO_ORDER = False
+    try:
+        yield
+    finally:
+        _CACHE_TOPO_ORDER = previous
 
 
 class NetlistError(ValueError):
@@ -46,17 +66,23 @@ class Gate:
     def __post_init__(self) -> None:
         check_arity(self.gtype, len(self.inputs))
 
-    @property
+    # cached_property, not property: these predicates run in every hot
+    # walk of every netlist consumer, and each uncached call re-hashes
+    # the enum member against a frozenset.  Gates are frozen, so the
+    # first answer is the answer (cached_property writes the instance
+    # __dict__ directly, which a frozen dataclass permits).
+
+    @cached_property
     def is_sequential(self) -> bool:
         """Whether this cell holds state (a flip-flop)."""
         return self.gtype in SEQUENTIAL_TYPES
 
-    @property
+    @cached_property
     def is_source(self) -> bool:
         """Whether this cell has no fan-in (primary input or constant)."""
         return self.gtype in SOURCE_TYPES
 
-    @property
+    @cached_property
     def is_combinational(self) -> bool:
         """Whether this cell computes a boolean function within a cycle."""
         return self.gtype in COMBINATIONAL_TYPES
@@ -130,6 +156,18 @@ class Netlist:
     def __len__(self) -> int:
         return len(self.gates)
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the derived caches.
+
+        The fanout cache holds a (non-picklable) mapping proxy, and
+        neither cache is worth shipping to sweep worker processes —
+        each side rebuilds on first use.
+        """
+        state = self.__dict__.copy()
+        state.pop("_topo_cache", None)
+        state.pop("_fanout_cache", None)
+        return state
+
     def __iter__(self) -> Iterator[Gate]:
         return iter(self.gates.values())
 
@@ -147,16 +185,36 @@ class Netlist:
         except KeyError as exc:
             raise NetlistError(f"net {net!r} has no driver in {self.name!r}") from exc
 
-    def fanout_map(self) -> dict[str, list[str]]:
+    def fanout_map(self) -> Mapping[str, tuple[str, ...]]:
         """Map each net to the names of the gates it feeds.
 
         Primary outputs do not appear as consumers; use :attr:`outputs`.
+        The map is cached and shared between callers, so it is returned
+        read-only (a mapping proxy over tuples) — an accidental
+        ``append`` or key assignment fails loudly instead of silently
+        poisoning every later reader.  Invalidation is growth-aware, as
+        in :meth:`topological_order`.
         """
-        fanout: dict[str, list[str]] = {net: [] for net in self.gates}
+        cached = self.__dict__.get("_fanout_cache")
+        if (
+            _CACHE_TOPO_ORDER
+            and cached is not None
+            and cached[0] is self.gates
+            and cached[1] == len(self.gates)
+        ):
+            return cached[2]
+        building: dict[str, list[str]] = {net: [] for net in self.gates}
         for gate in self.gates.values():
             for src in gate.inputs:
-                if src in fanout:
-                    fanout[src].append(gate.name)
+                if src in building:
+                    building[src].append(gate.name)
+        fanout = MappingProxyType(
+            {net: tuple(names) for net, names in building.items()}
+        )
+        if _CACHE_TOPO_ORDER:
+            self.__dict__["_fanout_cache"] = (
+                self.gates, len(self.gates), fanout
+            )
         return fanout
 
     def fanout_count(self, net: str) -> int:
@@ -193,6 +251,10 @@ class Netlist:
 
         Sources (primary inputs, constants, and DFF outputs) come first;
         DFF *inputs* are treated as sinks so sequential loops are legal.
+        The order is cached; growing the netlist (``add_gate``) or
+        replacing the ``gates`` mapping invalidates the cache
+        automatically (nothing in the repo mutates an existing entry in
+        place — transforms build fresh netlists).
 
         Returns:
             Gates in evaluation order (sources included, DFFs last).
@@ -200,6 +262,14 @@ class Netlist:
         Raises:
             NetlistError: if a purely combinational cycle exists.
         """
+        cached = self.__dict__.get("_topo_cache")
+        if (
+            _CACHE_TOPO_ORDER
+            and cached is not None
+            and cached[0] is self.gates
+            and cached[1] == len(self.gates)
+        ):
+            return list(cached[2])
         order: list[Gate] = []
         # Combinational in-degree: a DFF contributes no combinational edge
         # from its input; its *output* is a source.
@@ -229,7 +299,11 @@ class Netlist:
             )
         # Stable presentation: sources, then logic in dependency order, then
         # re-emit DFFs at the end (they were emitted as sources already).
-        return order
+        if _CACHE_TOPO_ORDER:
+            self.__dict__["_topo_cache"] = (
+                self.gates, len(self.gates), order
+            )
+        return list(order)
 
     # -- transforms ---------------------------------------------------------
 

@@ -19,6 +19,10 @@ Usage (after ``pip install -e .``)::
     python -m repro scenarios show rf-markov --seed 7
     python -m repro scenarios plot office-solar    # ASCII power profile
     python -m repro fig4                           # the Fig. 4 timeline
+    python -m repro perf run --quick               # time the hot paths
+    python -m repro perf compare BENCH_4.json BENCH_5.json \
+        --max-regression 0.2                       # regression gate
+    python -m repro perf history                   # BENCH_*.json trend
 
 Netlist arguments accept roster names, ``.bench`` files, or ``.blif``
 files.  Scenario arguments accept registry names (``scenarios list``),
@@ -620,6 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig4", help="render the Fig. 4 timeline").set_defaults(
         func=cmd_fig4
     )
+
+    from repro.perf.cli import register_perf_parser
+
+    register_perf_parser(sub)
     return parser
 
 

@@ -204,17 +204,15 @@ def _level_pack_pass(
     """Bin-pack small same-level nodes together; returns (nodes, changed)."""
     changed = False
     new_nodes: list[TaskNode] = []
-    for level in range(1, graph.depth + 1):
-        small = [
-            n
-            for n in graph.level_nodes(level)
-            if n.feature.energy_j < threshold_j
-        ]
-        big = [
-            n
-            for n in graph.level_nodes(level)
-            if n.feature.energy_j >= threshold_j
-        ]
+    by_level: dict[int, list[TaskNode]] = {}
+    for node in graph.nodes.values():
+        by_level.setdefault(node.feature.level, []).append(node)
+    for level in range(1, max(by_level, default=0) + 1):
+        members = sorted(
+            by_level.get(level, ()), key=lambda n: n.node_id
+        )
+        small = [n for n in members if n.feature.energy_j < threshold_j]
+        big = [n for n in members if n.feature.energy_j >= threshold_j]
         new_nodes.extend(TaskNode(node_id=n.node_id, gates=n.gates) for n in big)
         small.sort(key=lambda n: n.feature.energy_j, reverse=True)
         bins: list[tuple[list[TaskNode], float]] = []

@@ -17,12 +17,36 @@ A :class:`TaskGraph` always satisfies two invariants, enforced by
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.feature import FeatureDict
 from repro.circuits.netlist import Netlist
 from repro.tech.synthesis import SynthesisReport
+
+#: Graph-topology caching switch.  The policy passes validate a freshly
+#: built graph (``check`` — builds edges, computes a topological order)
+#: and immediately re-derive features over the same topology; caching
+#: the order makes the second walk free.  The perf harness flips this
+#: off to time the uncached baseline; results are identical either way.
+_CACHE_TOPOLOGY = True
+
+
+@contextmanager
+def graph_caches_disabled() -> Iterator[None]:
+    """Temporarily disable :class:`TaskGraph` topology caching.
+
+    Used by ``repro.perf`` to measure the uncached baseline; pinned
+    equivalent by the perf equivalence tests.
+    """
+    global _CACHE_TOPOLOGY
+    previous = _CACHE_TOPOLOGY
+    _CACHE_TOPOLOGY = False
+    try:
+        yield
+    finally:
+        _CACHE_TOPOLOGY = previous
 
 
 class TreeError(ValueError):
@@ -86,7 +110,9 @@ class TaskGraph:
                 self._owner[gate] = node.node_id
         self._edges: dict[str, set[str]] | None = None
         self._redges: dict[str, set[str]] | None = None
-        self._fanout: dict[str, list[str]] | None = None
+        self._fanout: dict[str, tuple[str, ...]] | None = None
+        self._outputs: set[str] | None = None
+        self._topo_ids: list[str] | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -129,12 +155,19 @@ class TaskGraph:
         """Drop cached adjacency (call after mutating node membership)."""
         self._edges = None
         self._redges = None
+        self._topo_ids = None
 
-    def _netlist_fanout(self) -> dict[str, list[str]]:
+    def _netlist_fanout(self) -> dict[str, tuple[str, ...]]:
         """Cached netlist fanout map (the netlist is never mutated)."""
         if self._fanout is None:
             self._fanout = self.netlist.fanout_map()
         return self._fanout
+
+    def _netlist_outputs(self) -> set[str]:
+        """Cached primary-output set (the netlist is never mutated)."""
+        if self._outputs is None:
+            self._outputs = set(self.netlist.outputs)
+        return self._outputs
 
     # -- invariants -----------------------------------------------------------
 
@@ -155,11 +188,21 @@ class TaskGraph:
         self.topological_nodes()  # raises on cycles
 
     def topological_nodes(self) -> list[TaskNode]:
-        """Nodes in dependency order.
+        """Nodes in dependency order (cached until :meth:`invalidate`).
 
         Raises:
             TreeError: if the node graph is cyclic.
         """
+        if _CACHE_TOPOLOGY and self._topo_ids is not None:
+            # Integrity guard: a caller that added/removed/renamed nodes
+            # without invalidate() must not get a stale order back.  A
+            # count mismatch recomputes; a renamed id fails loudly below
+            # (KeyError on the lookup).  Swapping a node's *gates* under
+            # an unchanged id is undetectable here — that is the
+            # documented invalidate() contract.
+            if len(self._topo_ids) == len(self.nodes):
+                return [self.nodes[nid] for nid in self._topo_ids]
+            self._topo_ids = None
         indeg = {nid: len(self.predecessors(nid)) for nid in self.nodes}
         ready = sorted(nid for nid, d in indeg.items() if d == 0)
         order: list[TaskNode] = []
@@ -173,6 +216,8 @@ class TaskGraph:
         if len(order) != len(self.nodes):
             stuck = sorted(nid for nid, d in indeg.items() if d > 0)[:8]
             raise TreeError(f"cycle among task nodes: {stuck}")
+        if _CACHE_TOPOLOGY:
+            self._topo_ids = [node.node_id for node in order]
         return order
 
     # -- annotations ------------------------------------------------------------
@@ -182,8 +227,12 @@ class TaskGraph:
 
         Levels follow the node DAG (sources at 1, as in the paper's figures);
         energy and delay come from the synthesis report's analytic model.
+        Callers that mutate node *membership* must call :meth:`invalidate`
+        first (every in-repo caller operates on a freshly built graph, so
+        the adjacency built by :meth:`check` is reused, not rebuilt).
         """
-        self.invalidate()
+        if not _CACHE_TOPOLOGY:
+            self.invalidate()
         order = self.topological_nodes()
         levels: dict[str, int] = {}
         for node in order:
@@ -191,11 +240,35 @@ class TaskGraph:
             levels[node.node_id] = (
                 1 if not preds else 1 + max(levels[p] for p in preds)
             )
+        gates_of = self.netlist.gates
+        fanout = self._netlist_fanout()
+        outputs = self._netlist_outputs()
         for node in order:
             nid = node.node_id
+            # One shared membership set per node instead of one per
+            # fan-in/fan-out helper (identical counts, half the set
+            # builds; the uncached baseline keeps the helper path).
+            if _CACHE_TOPOLOGY:
+                inside = set(node.gates)
+                external: set[str] = set()
+                outs = 0
+                for gate in node.gates:
+                    for src in gates_of[gate].inputs:
+                        if src not in inside:
+                            external.add(src)
+                    consumers = fanout.get(gate, ())
+                    if (
+                        any(c not in inside for c in consumers)
+                        or gate in outputs
+                    ):
+                        outs += 1
+                fan_in, fan_out = len(external), outs
+            else:
+                fan_in = self._external_fanin(node)
+                fan_out = self._external_fanout(node)
             node.feature = FeatureDict(
-                fan_in=self._external_fanin(node),
-                fan_out=self._external_fanout(node),
+                fan_in=fan_in,
+                fan_out=fan_out,
                 level=levels[nid],
                 energy_j=self.report.block_energy_j(node.gates),
                 delay_s=self.report.block_critical_path_s(node.gates),
@@ -224,7 +297,7 @@ class TaskGraph:
         inside = set(node.gates)
         fanout = self._netlist_fanout()
         outs: set[str] = set()
-        outputs = set(self.netlist.outputs)
+        outputs = self._netlist_outputs()
         for gate in node.gates:
             consumers = fanout.get(gate, [])
             if any(c not in inside for c in consumers):
@@ -273,7 +346,17 @@ class TaskGraph:
             )
             for n in self.nodes.values()
         ]
-        return TaskGraph(self.netlist, self.report, nodes)
+        copy = TaskGraph(self.netlist, self.report, nodes)
+        if _CACHE_TOPOLOGY:
+            # Node membership is identical, so the adjacency and order
+            # caches transfer verbatim (they are never mutated, only
+            # dropped by invalidate()).
+            copy._edges = self._edges
+            copy._redges = self._redges
+            copy._topo_ids = self._topo_ids
+            copy._fanout = self._fanout
+            copy._outputs = self._outputs
+        return copy
 
     def __len__(self) -> int:
         return len(self.nodes)

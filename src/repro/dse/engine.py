@@ -210,6 +210,27 @@ class SweepStats:
     workers: int = 1
     wall_s: float = 0.0
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of synthesis-stage groups served without synthesizing.
+
+        Each of the run's ``n_batches`` (circuit, policy) groups needs one
+        characterization when cold; every one the caches absorbed beyond
+        the actual ``synthesize_calls`` was a hit.  0.0 on a fully cold
+        run, approaching 1.0 when a long-lived cache (generational search,
+        warm explorer) serves every stage.
+        """
+        if self.n_batches <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.synthesize_calls / self.n_batches)
+
+    @property
+    def evals_per_s(self) -> float:
+        """Fresh evaluations per wall-clock second (0.0 before timing)."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.n_evaluated / self.wall_s
+
 
 @dataclass
 class SweepResult:

@@ -44,6 +44,11 @@ class HarvestTrace:
             self._starts.append(t)
             t += seg.duration_s
         self.period_s = t
+        #: Last segment index served by :meth:`segment_at`.  The executor
+        #: event loop queries monotonically increasing times, so checking
+        #: the previous hit first skips the binary search on nearly every
+        #: call; the returned index is identical either way.
+        self._last_idx = 0
 
     @property
     def cycle_energy_j(self) -> float:
@@ -76,9 +81,19 @@ class HarvestTrace:
         if t_s < 0:
             raise ValueError("time must be non-negative")
         local = math.fmod(t_s, self.period_s)
-        idx = self._index_at(local)
+        # Fast path: re-verify the previous hit before binary-searching.
+        # The acceptance test mirrors _index_at exactly (largest index
+        # whose start is <= local + tolerance), so both paths agree.
+        idx = self._last_idx
+        starts = self._starts
+        if not (
+            starts[idx] <= local + 1e-15
+            and (idx + 1 >= len(starts) or starts[idx + 1] > local + 1e-15)
+        ):
+            idx = self._index_at(local)
+            self._last_idx = idx
         seg = self.segments[idx]
-        remaining = self._starts[idx] + seg.duration_s - local
+        remaining = starts[idx] + seg.duration_s - local
         return seg, max(remaining, 1e-15)
 
     def power_at(self, t_s: float) -> float:

@@ -1,0 +1,57 @@
+"""Performance tracking for the reproduction's hot paths.
+
+The paper's contribution is *cheap design-space iteration* — Section IV's
+system-level framework exists so the Fig. 5 matrix (24 circuits x 4
+schemes) can be re-evaluated at will — so evaluation throughput is part
+of faithful reproduction, and this package is its measurement
+discipline:
+
+* :mod:`repro.perf.timing` — warm-up + repeat-min timing and host
+  fingerprinting;
+* :mod:`repro.perf.suites` — deterministic timed suites for the three
+  hot paths (intermittent-executor event loops, synthesis costing,
+  sweep-engine throughput) plus the full ``evaluate_suite`` harness;
+* :mod:`repro.perf.report` — the schema-versioned ``BENCH_<n>.json``
+  format, regression gating (``perf compare``) and the committed
+  trajectory (``perf history``);
+* :mod:`repro.perf.cli` — the ``python -m repro perf`` subcommands.
+
+See ``docs/performance.md`` for the harness design and the CI gate.
+"""
+
+from repro.perf.baseline import hot_path_caches_disabled
+from repro.perf.report import (
+    ComparisonResult,
+    PerfReportError,
+    SuiteComparison,
+    compare_reports,
+    load_report,
+    report_dict,
+    save_report,
+)
+from repro.perf.suites import SUITE_NAMES, SUITES, SuiteResult, run_suites
+from repro.perf.timing import (
+    Timing,
+    host_fingerprint,
+    time_call,
+    time_paired,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "PerfReportError",
+    "SUITES",
+    "SUITE_NAMES",
+    "SuiteComparison",
+    "SuiteResult",
+    "Timing",
+    "compare_reports",
+    "host_fingerprint",
+    "hot_path_caches_disabled",
+    "load_report",
+    "report_dict",
+    "run_suites",
+    "save_report",
+    "time_call",
+    "time_paired",
+]

@@ -1,0 +1,152 @@
+"""Repeat-min timing and host fingerprinting for the perf harness.
+
+Wall-clock measurements on shared machines are right-skewed: the minimum
+over several repeats is the closest observable to the true cost of the
+code, while means absorb scheduler noise (the same discipline
+``pytest-benchmark`` and CPython's ``pyperf`` apply).  Everything else a
+suite reports — event counts, evaluation counts, cache ratios — is
+deterministic, so two runs of the same workload differ only in their
+timing fields.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Wall-clock measurement of one timed section.
+
+    Attributes:
+        wall_s: best (minimum) duration over the timed repeats.
+        mean_s: mean duration over the timed repeats.
+        repeats: timed repetitions performed.
+        warmup: untimed warm-up repetitions performed first.
+    """
+
+    wall_s: float
+    mean_s: float
+    repeats: int
+    warmup: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready view."""
+        return {
+            "wall_s": self.wall_s,
+            "mean_s": self.mean_s,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+
+def time_call(
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> tuple[Timing, Any]:
+    """Time ``fn`` with warm-up and repeat-min sampling.
+
+    Args:
+        fn: zero-argument callable; must be idempotent (it runs
+            ``warmup + repeats`` times).
+        repeats: timed repetitions; the minimum wall time is reported.
+        warmup: discarded warm-up calls (filling caches, importing, JIT
+            warming of the CPython specializer).
+
+    Returns:
+        ``(timing, result)`` where ``result`` is the last call's return
+        value — suites derive their deterministic counters from it.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    result: Any = None
+    for _ in range(warmup):
+        result = fn()
+    walls: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        walls.append(time.perf_counter() - start)
+    timing = Timing(
+        wall_s=min(walls),
+        mean_s=sum(walls) / len(walls),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    return timing, result
+
+
+def time_paired(
+    fn_a: Callable[[], Any],
+    fn_b: Callable[[], Any],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> tuple[Timing, Timing, Any]:
+    """Time two callables in interleaved A/B/A/B order.
+
+    Background load on a shared machine drifts over seconds; timing all
+    of A then all of B folds that drift into the A/B ratio.  Interleaving
+    exposes both sides to the same load profile, so ratios built from the
+    two minima (e.g. the suite-eval ``speedup_vs_uncached``) are stable
+    where sequential blocks are not.
+
+    Returns:
+        ``(timing_a, timing_b, result_a)`` — only A's warmup runs (A is
+        the cached configuration; B must not need one).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    result: Any = None
+    for _ in range(warmup):
+        result = fn_a()
+    walls_a: list[float] = []
+    walls_b: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn_a()
+        walls_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        walls_b.append(time.perf_counter() - start)
+    timing_a = Timing(
+        wall_s=min(walls_a),
+        mean_s=sum(walls_a) / len(walls_a),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    timing_b = Timing(
+        wall_s=min(walls_b),
+        mean_s=sum(walls_b) / len(walls_b),
+        repeats=repeats,
+        warmup=0,
+    )
+    return timing_a, timing_b, result
+
+
+def host_fingerprint() -> dict[str, object]:
+    """Stable description of the measuring host.
+
+    Deterministic on one machine/interpreter, so it participates in the
+    non-timing determinism guarantee; ``perf compare`` prints it when two
+    files came from different hosts (cross-host wall-clock comparisons
+    need generous regression margins).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "prefix": sys.prefix,
+    }

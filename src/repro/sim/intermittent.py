@@ -110,11 +110,9 @@ class ExecutionResult:
         active_time_s: busy time — compute + commit + restore (stall and
             charging time excluded).
         wall_time_s: total simulated time.  On completed runs this is the
-            full simulated span of the macro task.  On a result captured
-            mid-run (``completed`` False — e.g. observed through an
-            executor hook before :class:`TraceTooWeakError` is raised) it
-            is the simulated time of the *last recorded event* and may lag
-            the executor's internal clock.
+            full simulated span of the macro task; a result constructed
+            by hand mid-run (``completed`` False) carries whatever clock
+            its builder recorded.
         n_dips / n_backups / n_restores / n_safe_recoveries: event counts.
         nvm_bits_written / nvm_bits_read: NVM traffic.
         reexec_energy_j: work redone after power cycles.
@@ -212,27 +210,33 @@ class IntermittentExecutor:
         th = self.thresholds
         if work_target_j is None:
             work_target_j = MACRO_TASK_ENERGY_RATIO * self.e_max_j
-        result = ExecutionResult(
-            scheme=profile.name,
-            completed=False,
-            work_target_j=work_target_j,
-            useful_energy_j=0.0,
-            total_energy_j=0.0,
-            active_time_s=0.0,
-            wall_time_s=0.0,
-        )
         commit_e, commit_t = self._commit_cost()
         restore_e, restore_t = self._restore_cost()
         p_active = profile.active_power_w
+        # Hot-loop hoists: the event loop runs thousands of iterations per
+        # macro task, so threshold levels, the trace accessor and the
+        # result counters all live in locals and are written back once.
+        segment_at = self.trace.segment_at
+        safe_j = th.safe_j
+        compute_j = th.compute_j
+        backup_j = th.backup_j
+        e_max = self.e_max_j
+        sleep_drain = self.sleep_drain_w
+        uses_safe_zone = profile.uses_safe_zone
 
         t = 0.0
-        e = INITIAL_ENERGY_FRACTION * self.e_max_j
+        e = INITIAL_ENERGY_FRACTION * e_max
         work = 0.0
         #: Progress (in joules of work) already safe in NVM.
         committed_work = 0.0
-        mode = "active" if e > th.compute_j else "charge"
+        mode = "active" if e > compute_j else "charge"
         t_limit = max_cycles * self.trace.period_s
         eps = 1e-18
+
+        total_energy = 0.0
+        active_time = 0.0
+        reexec_energy = 0.0
+        n_dips = n_backups = n_restores = n_safe_recoveries = 0
 
         while work < work_target_j - eps:
             if t > t_limit:
@@ -241,7 +245,7 @@ class IntermittentExecutor:
                     f"sustain the macro task within {max_cycles:g} cycles "
                     f"(work {work:.3e}/{work_target_j:.3e} J)"
                 )
-            seg, seg_remaining = self.trace.segment_at(t)
+            seg, seg_remaining = segment_at(t)
             p_in = seg.power_w
 
             if mode == "active":
@@ -249,9 +253,9 @@ class IntermittentExecutor:
                 if p_net >= 0:
                     # Harvest covers computation: bounded by segment or work.
                     dt = min(seg_remaining, (work_target_j - work) / p_active)
-                    e = min(e + p_net * dt, self.e_max_j)
+                    e = min(e + p_net * dt, e_max)
                 else:
-                    t_deplete = max(0.0, e - th.safe_j) / (-p_net)
+                    t_deplete = max(0.0, e - safe_j) / (-p_net)
                     dt = min(
                         seg_remaining,
                         t_deplete,
@@ -259,18 +263,20 @@ class IntermittentExecutor:
                     )
                     e += p_net * dt
                 work += p_active * dt
-                result.total_energy_j += p_active * dt
-                result.active_time_s += dt
+                total_energy += p_active * dt
+                active_time += dt
                 t += dt
                 if work >= work_target_j - eps:
                     break
-                if e <= th.safe_j + eps:
+                if e <= safe_j + eps:
                     # Active zone exited (dashed-blue arrow of Fig. 3).
-                    result.n_dips += 1
-                    if profile.uses_safe_zone:
+                    n_dips += 1
+                    if uses_safe_zone:
                         mode = "dip"
                     else:
-                        self._backup(result, commit_e, commit_t)
+                        n_backups += 1
+                        total_energy += commit_e
+                        active_time += commit_t
                         e = max(e - commit_e, 0.0)
                         committed_work = self._commit_point(work)
                         mode = "charge"
@@ -278,25 +284,26 @@ class IntermittentExecutor:
 
             if mode == "dip":
                 # Parked in the safe zone: recover or decay (Fig. 4 event 5).
-                p_net = p_in - self.sleep_drain_w
+                p_net = p_in - sleep_drain
                 if p_net > 0:
-                    t_recover = (th.compute_j - e) / p_net
+                    t_recover = (compute_j - e) / p_net
                     if t_recover <= seg_remaining:
-                        e = th.compute_j
+                        e = compute_j
                         t += t_recover
-                        result.n_safe_recoveries += 1
-                        result.wall_time_s = t
+                        n_safe_recoveries += 1
                         mode = "active"
                         continue
-                    e = min(e + p_net * seg_remaining, self.e_max_j)
+                    e = min(e + p_net * seg_remaining, e_max)
                     t += seg_remaining
                     continue
-                t_decay = (e - th.backup_j) / (-p_net) if p_net < 0 else math.inf
+                t_decay = (e - backup_j) / (-p_net) if p_net < 0 else math.inf
                 if t_decay <= seg_remaining:
                     # Decayed to Th_Bk: the power interrupt forces a backup.
                     t += t_decay
-                    e = th.backup_j
-                    self._backup(result, commit_e, commit_t)
+                    e = backup_j
+                    n_backups += 1
+                    total_energy += commit_e
+                    active_time += commit_t
                     e = max(e - commit_e, 0.0)
                     committed_work = self._commit_point(work)
                     mode = "charge"
@@ -311,38 +318,52 @@ class IntermittentExecutor:
             # enters the active zone at Th_Cp, never below Th_SafeZone —
             # otherwise t_deplete would go negative and regress time.
             if p_in > 0:
-                resume_e = min(th.compute_j + restore_e, self.e_max_j)
-                if resume_e - restore_e < th.safe_j:
+                resume_e = min(compute_j + restore_e, e_max)
+                if resume_e - restore_e < safe_j:
                     # Even a full capacitor cannot pay the restore and
                     # leave the system inside the operating zone — fail
                     # loudly rather than conjure energy.
                     raise TraceTooWeakError(
                         f"{profile.name}: restore cost {restore_e:.3e} J "
-                        f"cannot be paid from the {self.e_max_j:.3e} J "
+                        f"cannot be paid from the {e_max:.3e} J "
                         f"capacitor without dropping below Th_SafeZone "
-                        f"({th.safe_j:.3e} J)"
+                        f"({safe_j:.3e} J)"
                     )
                 t_resume = (resume_e - e) / p_in
                 if t_resume <= seg_remaining:
                     t += t_resume
                     e = resume_e
                     # Restore + re-execute the uncommitted tail.
-                    self._restore(result, restore_e, restore_t)
+                    n_restores += 1
+                    total_energy += restore_e
+                    active_time += restore_t
                     e = e - restore_e
                     # The uncommitted tail re-executes: regressing `work`
                     # makes the active phase redo it, re-accounting both
                     # its energy and its time.
-                    result.reexec_energy_j += work - committed_work
+                    reexec_energy += work - committed_work
                     work = committed_work
                     mode = "active"
                     continue
-                e = min(e + p_in * seg_remaining, self.e_max_j)
+                e = min(e + p_in * seg_remaining, e_max)
             t += seg_remaining
 
-        result.completed = True
-        result.useful_energy_j = work_target_j
-        result.wall_time_s = t
-        return result
+        return ExecutionResult(
+            scheme=profile.name,
+            completed=True,
+            work_target_j=work_target_j,
+            useful_energy_j=work_target_j,
+            total_energy_j=total_energy,
+            active_time_s=active_time,
+            wall_time_s=t,
+            n_dips=n_dips,
+            n_backups=n_backups,
+            n_restores=n_restores,
+            n_safe_recoveries=n_safe_recoveries,
+            nvm_bits_written=n_backups * profile.commit_bits,
+            nvm_bits_read=n_restores * profile.restore_bits,
+            reexec_energy_j=reexec_energy,
+        )
 
     # -- event helpers ------------------------------------------------------------
 
@@ -359,18 +380,3 @@ class IntermittentExecutor:
             return work
         return max(0.0, work - REEXECUTION_FRACTION * window)
 
-    def _backup(
-        self, result: ExecutionResult, commit_e: float, commit_t: float
-    ) -> None:
-        result.n_backups += 1
-        result.nvm_bits_written += self.profile.commit_bits
-        result.total_energy_j += commit_e
-        result.active_time_s += commit_t
-
-    def _restore(
-        self, result: ExecutionResult, restore_e: float, restore_t: float
-    ) -> None:
-        result.n_restores += 1
-        result.nvm_bits_read += self.profile.restore_bits
-        result.total_energy_j += restore_e
-        result.active_time_s += restore_t
