@@ -184,6 +184,44 @@ def _parse_scenarios(specs: list[str]):
     return tuple(scenarios)
 
 
+def _parse_fault_plan(args: argparse.Namespace):
+    """Build the chaos plan of ``--inject-faults``, or ``None``.
+
+    The trip-state directory defaults to a fresh temp dir per run, so
+    back-to-back chaos invocations re-arm their faults; pass
+    ``--fault-dir`` to share state across runs on purpose.
+    """
+    import tempfile
+
+    from repro.dse import FaultPlan
+
+    if not args.inject_faults:
+        return None
+    state_dir = args.fault_dir or tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        plan = FaultPlan.parse(args.inject_faults, state_dir)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(
+        f"injecting faults: {plan.describe()} (state: {plan.state_dir})",
+        file=sys.stderr,
+    )
+    return plan
+
+
+def _resilience_from_args(args: argparse.Namespace, fault_plan):
+    from repro.dse import ResilienceConfig, RetryPolicy
+
+    try:
+        return ResilienceConfig(
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            batch_timeout_s=args.batch_timeout,
+            fault_plan=fault_plan,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.dse import (
         DesignSpace,
@@ -202,6 +240,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit("error: --samples must be >= 1")
     if args.generations < 1:
         raise SystemExit("error: --generations must be >= 1")
+    if args.fsync_every < 0:
+        raise SystemExit("error: --fsync-every must be >= 0")
     netlists = {spec: _resolve_netlist(spec) for spec in args.circuits}
     safe_zones = {
         "both": (True, False), "on": (True,), "off": (False,),
@@ -227,8 +267,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
-    store = JsonlResultStore(args.results) if args.results else None
-    engine = SweepEngine(workers=args.workers, store=store)
+    fault_plan = _parse_fault_plan(args)
+    store = (
+        JsonlResultStore(
+            args.results,
+            fsync_every=args.fsync_every,
+            fault_plan=fault_plan,
+        )
+        if args.results
+        else None
+    )
+    engine = SweepEngine(
+        workers=args.workers,
+        store=store,
+        resilience=_resilience_from_args(args, fault_plan),
+    )
     if args.strategy == "grid":
         # The full-factorial walk keeps its dedicated spec-order path.
         result = engine.run(spec, netlists=netlists, resume=args.resume)
@@ -336,6 +389,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{stats.synthesize_calls} synthesis runs over "
         f"{stats.n_batches} batches"
     )
+    recovery = []
+    if stats.n_retries:
+        recovery.append(f"{stats.n_retries} retries")
+    if stats.n_timeouts:
+        recovery.append(f"{stats.n_timeouts} batch timeouts")
+    if stats.n_pool_rebuilds:
+        recovery.append(f"{stats.n_pool_rebuilds} pool rebuilds")
+    if stats.degraded_to_serial:
+        recovery.append("degraded to serial")
+    if recovery:
+        print(f"recovery: {', '.join(recovery)}")
     return 1 if result.failures and not result.records else 0
 
 
@@ -580,6 +644,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--resume", action="store_true",
         help="skip points already present in --results",
+    )
+    p_sweep.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="evaluation attempts per task before a transient failure "
+        "becomes permanent (1 disables retries)",
+    )
+    p_sweep.add_argument(
+        "--batch-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per parallel batch; overdue batches are "
+        "resubmitted to a rebuilt worker pool (default: no deadline)",
+    )
+    p_sweep.add_argument(
+        "--fsync-every", type=int, default=0, metavar="N",
+        help="fsync --results after every N records (0 = leave "
+        "flushing to the OS)",
+    )
+    p_sweep.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="chaos testing: semicolon-separated faults of the form "
+        "action[(seconds)][xN][@match] with action one of crash, hang, "
+        "transient, corrupt — e.g. 'crash;hang(2.5)@b02;transientx2'",
+    )
+    p_sweep.add_argument(
+        "--fault-dir", metavar="DIR",
+        help="shared trip-state directory for --inject-faults "
+        "(default: a fresh temp dir, so each run re-arms its plan)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
 

@@ -21,7 +21,15 @@ from repro.dse.explorer import (
     evaluate_point,
     expand_points,
 )
+from repro.dse.faults import FaultPlan, FaultSpec
 from repro.dse.pareto import hypervolume_2d, pareto_front, record_front
+from repro.dse.resilience import (
+    PoolSupervisor,
+    ResilienceConfig,
+    RetryPolicy,
+    TransientEvalError,
+    WorkerCrashError,
+)
 from repro.dse.scoring import best_pdp_by_group, pdp_degradation
 from repro.dse.store import (
     JsonlResultStore,
@@ -54,13 +62,18 @@ __all__ = [
     "DesignSpaceExplorer",
     "EvalOutcome",
     "ExplorationRecord",
+    "FaultPlan",
+    "FaultSpec",
     "GridStrategy",
     "JsonlResultStore",
     "MarginOutcome",
     "ParetoEvolutionStrategy",
+    "PoolSupervisor",
     "Proposal",
     "RandomStrategy",
     "Range",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SearchStrategy",
     "SuccessiveHalvingStrategy",
     "SweepEngine",
@@ -69,6 +82,8 @@ __all__ = [
     "SweepSpec",
     "SweepStats",
     "SynthesisCache",
+    "TransientEvalError",
+    "WorkerCrashError",
     "best_margin",
     "best_pdp_by_group",
     "evaluate_point",

@@ -20,13 +20,28 @@ tractable:
   full-factorial :class:`SweepSpec`; :meth:`SweepEngine.run_search`
   drives any :class:`~repro.dse.strategies.SearchStrategy` through the
   same machinery generation by generation, with unchanged store keys so
-  adaptive searches resume exactly like grids.
+  adaptive searches resume exactly like grids;
+* **fault tolerance** — execution is supervised by
+  :class:`~repro.dse.resilience.ResilienceConfig`: transient failures
+  (worker crashes, broken pools, injected chaos) retry with seeded
+  backoff, overdue batches resubmit to fresh workers, dead pools are
+  rebuilt, and after ``max_pool_deaths`` consecutive deaths the run
+  degrades to serial in-process execution instead of thrashing.
+  Deterministic evaluation errors fail fast into a single
+  :class:`SweepFailure`; *any* other exception becomes a recorded
+  failure too, never a destroyed sweep (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass, field
 
 from repro.circuits.netlist import Netlist
@@ -39,11 +54,18 @@ from repro.dse.explorer import (
     evaluate_point,
     expand_points,
 )
+from repro.dse.faults import FaultPlan, key_text
 from repro.dse.pareto import record_front
+from repro.dse.resilience import (
+    TRANSIENT,
+    PoolSupervisor,
+    ResilienceConfig,
+    classify,
+    describe_error,
+)
 from repro.dse.store import JsonlResultStore
 from repro.dse.strategies import EvalOutcome, SearchStrategy
 from repro.energy.scenarios import ScenarioSpec
-from repro.sim.intermittent import TraceTooWeakError
 from repro.suite.registry import load_circuit
 from repro.tech.nvm import MRAM, NvmTechnology
 
@@ -170,12 +192,20 @@ class SweepFailure:
         scenario: display label of the environment the point failed
             under (a point may fail under one scenario and succeed
             under another — e.g. a trace too weak for its thresholds).
+        kind: failure taxonomy bucket — ``terminal`` (deterministic
+            evaluation error, failed fast exactly once), ``transient``
+            (retryable error that exhausted its retry budget), or
+            ``unexpected`` (anything else; recorded instead of
+            destroying the sweep).
+        attempts: evaluation attempts this task consumed.
     """
 
     circuit: str
     label: str
     error: str
     scenario: str = ScenarioSpec().label()
+    kind: str = "terminal"
+    attempts: int = 1
 
 
 @dataclass
@@ -198,6 +228,14 @@ class SweepStats:
         synthesize_calls: actual circuit characterizations performed.
         workers: process count used (1 == serial in-process).
         wall_s: wall-clock duration of the run.
+        n_retries: task re-evaluations scheduled after transient
+            failures (each retry of one task counts once).
+        n_timeouts: batches that overran their deadline and were
+            resubmitted to fresh workers.
+        n_pool_rebuilds: worker pools rebuilt after a death or
+            deadline overrun.
+        degraded_to_serial: whether consecutive pool deaths forced the
+            rest of the run onto the serial in-process path.
     """
 
     n_points: int = 0
@@ -209,6 +247,10 @@ class SweepStats:
     synthesize_calls: int = 0
     workers: int = 1
     wall_s: float = 0.0
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_pool_rebuilds: int = 0
+    degraded_to_serial: bool = False
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -340,6 +382,7 @@ def _evaluate_batch(
     jobs: list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
     base_config: DiacConfig | None,
     persistent_cache: bool = False,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[
     list[tuple[_TaskKey, ExplorationRecord]],
     int,
@@ -356,6 +399,12 @@ def _evaluate_batch(
     for file-loaded circuits.  ``persistent_cache`` switches to the
     process-global cache so repeated batches in one worker (a
     generational search with a long-lived pool) share stages.
+
+    Every per-job exception — deterministic, transient, or a genuine
+    bug — becomes a classified :class:`SweepFailure` so one bad point
+    never destroys its batch; the parent decides which kinds retry.
+    ``fault_plan`` injects deterministic chaos just before each job
+    (crash faults kill this worker process outright).
     """
     if persistent_cache:
         cache = _PROCESS_CACHES.setdefault(circuit, SynthesisCache())
@@ -366,6 +415,8 @@ def _evaluate_batch(
     failures = []
     for key, scenario, point in jobs:
         try:
+            if fault_plan is not None:
+                fault_plan.fire(key_text(key))
             record = evaluate_point(
                 netlist,
                 point,
@@ -373,15 +424,16 @@ def _evaluate_batch(
                 cache=cache,
                 scenario=scenario,
             )
-        except (ValueError, KeyError, TraceTooWeakError) as error:
+        except Exception as error:
             failures.append(
                 (
                     key,
                     SweepFailure(
                         circuit=circuit,
                         label=point.label(),
-                        error=str(error),
+                        error=describe_error(error),
                         scenario=scenario.label(),
+                        kind=classify(error),
                     ),
                 )
             )
@@ -402,6 +454,10 @@ class SweepEngine:
         store: optional streaming result store; when given, records are
             appended as they are produced and ``resume=True`` skips
             points the store already holds.
+        resilience: retry/timeout/pool-supervision configuration
+            (default: supervised with the default
+            :class:`~repro.dse.resilience.RetryPolicy`); pass
+            ``ResilienceConfig.disabled()`` for the bare legacy path.
     """
 
     def __init__(
@@ -409,12 +465,16 @@ class SweepEngine:
         workers: int = 1,
         base_config: DiacConfig | None = None,
         store: JsonlResultStore | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.base_config = base_config
         self.store = store
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
 
     def _execute_tasks(
         self,
@@ -422,7 +482,7 @@ class SweepEngine:
         netlists: dict[str, Netlist],
         stats: SweepStats,
         caches: dict[str, SynthesisCache] | None = None,
-        pool: ProcessPoolExecutor | None = None,
+        supervisor: PoolSupervisor | None = None,
     ) -> tuple[
         dict[_TaskKey, ExplorationRecord], dict[_TaskKey, SweepFailure]
     ]:
@@ -432,11 +492,13 @@ class SweepEngine:
         :meth:`run_search`: serial mode reuses the per-circuit
         ``caches`` (so a generational search shares synthesis stages
         across generations), parallel mode groups tasks by (circuit,
-        policy) and fans the groups out over a process pool.  A caller
-        that passes its own long-lived ``pool`` (the generational
-        search) also gets worker-process-global caches, so stages
-        synthesized in one generation stay warm for the next; one-shot
-        callers get a fresh pool and batch-local caches.
+        policy) and fans the groups out over a supervised process pool.
+        A caller that passes its own long-lived ``supervisor`` (the
+        generational search) also gets worker-process-global caches, so
+        stages synthesized in one generation stay warm for the next —
+        and a pool death in one generation leaves the supervisor with a
+        rebuilt pool for the next; one-shot callers get a fresh
+        supervisor and batch-local caches.
         """
         fresh: dict[_TaskKey, ExplorationRecord] = {}
         failures: dict[_TaskKey, SweepFailure] = {}
@@ -445,33 +507,8 @@ class SweepEngine:
             # netlist.name, and two file-loaded circuits may share a name.
             if caches is None:
                 caches = {}
-            for circuit in netlists:
-                caches.setdefault(circuit, SynthesisCache())
-            before = sum(c.synthesize_calls for c in caches.values())
-            for key, circuit, scenario, point in tasks:
-                try:
-                    record = evaluate_point(
-                        netlists[circuit],
-                        point,
-                        base_config=self.base_config,
-                        cache=caches[circuit],
-                        scenario=scenario,
-                    )
-                except (ValueError, KeyError, TraceTooWeakError) as error:
-                    failures[key] = SweepFailure(
-                        circuit=circuit,
-                        label=point.label(),
-                        error=str(error),
-                        scenario=scenario.label(),
-                    )
-                    continue
-                record.circuit = circuit
-                fresh[key] = record
-                if self.store is not None:
-                    self.store.append(record)
-            stats.synthesize_calls += (
-                sum(c.synthesize_calls for c in caches.values()) - before
-            )
+            self._execute_serial(tasks, netlists, stats, caches,
+                                 fresh, failures)
             # Serial "batches" mirror the parallel grouping for stats.
             stats.n_batches += len(
                 {(circuit, point.policy) for _k, circuit, _s, point in tasks}
@@ -490,34 +527,361 @@ class SweepEngine:
                     (key, scenario, point)
                 )
             stats.n_batches += len(groups)
-            own_pool = pool is None
-            if own_pool:
-                pool = ProcessPoolExecutor(max_workers=self.workers)
+            own_supervisor = supervisor is None
+            if own_supervisor:
+                supervisor = PoolSupervisor(self.workers)
             try:
-                futures = [
-                    pool.submit(
-                        _evaluate_batch, circuit, netlists[circuit],
-                        jobs, self.base_config,
-                        not own_pool,  # long-lived pool -> worker caches
+                if self.resilience.supervise:
+                    self._execute_parallel_supervised(
+                        groups, netlists, stats, supervisor, fresh, failures
                     )
-                    for (circuit, _policy), jobs in groups.items()
-                ]
-                # Persist batches as they finish, not in submission order,
-                # so a kill mid-run loses at most the in-flight batches.
-                for future in as_completed(futures):
-                    records, synth_calls, batch_failures = future.result()
-                    stats.synthesize_calls += synth_calls
-                    failures.update(batch_failures)
-                    for key, record in records:
-                        fresh[key] = record
-                    if self.store is not None:
-                        self.store.extend([r for _k, r in records])
+                else:
+                    self._execute_parallel_bare(
+                        groups, netlists, stats, supervisor, fresh, failures
+                    )
             finally:
-                if own_pool:
-                    pool.shutdown()
+                if own_supervisor:
+                    supervisor.shutdown()
         stats.n_evaluated += len(fresh)
         stats.n_failed += len(failures)
         return fresh, failures
+
+    def _execute_serial(
+        self,
+        tasks: list[_Task],
+        netlists: dict[str, Netlist],
+        stats: SweepStats,
+        caches: dict[str, SynthesisCache],
+        fresh: dict[_TaskKey, ExplorationRecord],
+        failures: dict[_TaskKey, SweepFailure],
+    ) -> None:
+        """In-process evaluation with per-task retry on transients.
+
+        Also the drain path after parallel execution degrades: fault
+        plans fire with ``allow_exit=False``, so an injected crash
+        surfaces as a retryable exception instead of killing the sweep.
+        """
+        cfg = self.resilience
+        policy = cfg.retry
+        retry_enabled = cfg.supervise and policy.max_attempts > 1
+        for circuit in netlists:
+            caches.setdefault(circuit, SynthesisCache())
+        before = sum(c.synthesize_calls for c in caches.values())
+        for key, circuit, scenario, point in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    if cfg.fault_plan is not None:
+                        cfg.fault_plan.fire(key_text(key), allow_exit=False)
+                    record = evaluate_point(
+                        netlists[circuit],
+                        point,
+                        base_config=self.base_config,
+                        cache=caches[circuit],
+                        scenario=scenario,
+                    )
+                except Exception as error:
+                    kind = classify(error)
+                    if (
+                        kind == TRANSIENT
+                        and retry_enabled
+                        and attempts < policy.max_attempts
+                    ):
+                        stats.n_retries += 1
+                        time.sleep(policy.delay_s(attempts, key_text(key)))
+                        continue
+                    failures[key] = SweepFailure(
+                        circuit=circuit,
+                        label=point.label(),
+                        error=describe_error(error),
+                        scenario=scenario.label(),
+                        kind=kind,
+                        attempts=attempts,
+                    )
+                    break
+                fresh[key] = record
+                if self.store is not None:
+                    self.store.append(record)
+                break
+        stats.synthesize_calls += (
+            sum(c.synthesize_calls for c in caches.values()) - before
+        )
+
+    def _execute_parallel_bare(
+        self,
+        groups: dict[
+            tuple[str, int],
+            list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
+        ],
+        netlists: dict[str, Netlist],
+        stats: SweepStats,
+        supervisor: PoolSupervisor,
+        fresh: dict[_TaskKey, ExplorationRecord],
+        failures: dict[_TaskKey, SweepFailure],
+    ) -> None:
+        """The pre-resilience fan-out: one submission, no retries.
+
+        Kept as the measured baseline for the supervised path's
+        overhead (``perf run --suite sweep-resilience``) and as the
+        ``supervise=False`` escape hatch.  One thing is still hardened:
+        a batch-level exception (dead worker, unpicklable result) turns
+        into classified failures for the batch's tasks instead of
+        propagating and destroying the sweep's in-memory results.
+        """
+        pool = supervisor.pool
+        futures = {
+            pool.submit(
+                _evaluate_batch, circuit, netlists[circuit],
+                jobs, self.base_config,
+                supervisor.persistent,  # long-lived pool -> worker caches
+                self.resilience.fault_plan,
+            ): ((circuit, policy), jobs)
+            for (circuit, policy), jobs in groups.items()
+        }
+        # Persist batches as they finish, not in submission order,
+        # so a kill mid-run loses at most the in-flight batches.
+        for future in as_completed(futures):
+            (circuit, _policy), jobs = futures[future]
+            try:
+                records, synth_calls, batch_failures = future.result()
+            except Exception as error:
+                self._fail_batch(
+                    circuit, jobs, failures, error=error, attempts=1
+                )
+                continue
+            stats.synthesize_calls += synth_calls
+            failures.update(batch_failures)
+            for key, record in records:
+                fresh[key] = record
+            if self.store is not None:
+                self.store.extend([r for _k, r in records])
+
+    @staticmethod
+    def _fail_batch(
+        circuit: str,
+        jobs: list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
+        failures: dict[_TaskKey, SweepFailure],
+        error: BaseException | None = None,
+        message: str | None = None,
+        kind: str | None = None,
+        attempts: int = 1,
+    ) -> None:
+        """Record one failure per job of a batch that died as a whole."""
+        if error is not None:
+            message = describe_error(error)
+            kind = classify(error)
+        for key, scenario, point in jobs:
+            failures[key] = SweepFailure(
+                circuit=circuit,
+                label=point.label(),
+                error=message or "batch failed",
+                scenario=scenario.label(),
+                kind=kind or TRANSIENT,
+                attempts=attempts,
+            )
+
+    def _execute_parallel_supervised(
+        self,
+        groups: dict[
+            tuple[str, int],
+            list[tuple[_TaskKey, ScenarioSpec, DesignPoint]],
+        ],
+        netlists: dict[str, Netlist],
+        stats: SweepStats,
+        supervisor: PoolSupervisor,
+        fresh: dict[_TaskKey, ExplorationRecord],
+        failures: dict[_TaskKey, SweepFailure],
+    ) -> None:
+        """Supervised fan-out: deadlines, retries, rebuilds, degradation.
+
+        The event loop keeps three collections: ``ready`` batches to
+        submit, ``delayed`` single-task retry batches waiting out their
+        backoff, and ``in_flight`` futures with optional deadlines.
+        Worker-reported transient failures reschedule the *task* (with
+        backoff); a broken pool or an overdue batch reschedules the
+        *batch* onto a rebuilt pool; ``max_pool_deaths`` consecutive
+        deaths drain everything left through the serial path instead.
+        """
+        cfg = self.resilience
+        policy = cfg.retry
+        # (group key, jobs, batch attempt) triples ready to submit.
+        ready: deque = deque(
+            (gk, jobs, 1) for gk, jobs in groups.items()
+        )
+        # (not-before monotonic time, group key, jobs, attempt).
+        delayed: list[tuple[float, tuple[str, int], list, int]] = []
+        in_flight: dict = {}
+        task_failures: dict[_TaskKey, int] = {}
+
+        def submit(gk: tuple[str, int], jobs: list, attempt: int) -> None:
+            circuit = gk[0]
+            future = supervisor.pool.submit(
+                _evaluate_batch, circuit, netlists[circuit],
+                jobs, self.base_config,
+                supervisor.persistent,
+                cfg.fault_plan,
+            )
+            deadline = (
+                time.monotonic() + cfg.batch_timeout_s
+                if cfg.batch_timeout_s is not None
+                else None
+            )
+            in_flight[future] = (gk, jobs, attempt, deadline)
+
+        def handle_success(gk, jobs, batch) -> None:
+            records, synth_calls, batch_failures = batch
+            stats.synthesize_calls += synth_calls
+            for key, record in records:
+                fresh[key] = record
+            if self.store is not None:
+                self.store.extend([r for _k, r in records])
+            now = time.monotonic()
+            for key, failure in batch_failures:
+                seen = task_failures.get(key, 0) + 1
+                task_failures[key] = seen
+                if failure.kind == TRANSIENT and seen < policy.max_attempts:
+                    # Retry just this task, after its seeded backoff,
+                    # as a single-job batch in the same stage group.
+                    stats.n_retries += 1
+                    job = next(j for j in jobs if j[0] == key)
+                    delayed.append((
+                        now + policy.delay_s(seen, key_text(key)),
+                        gk, [job], seen + 1,
+                    ))
+                    continue
+                failures[key] = SweepFailure(
+                    circuit=failure.circuit,
+                    label=failure.label,
+                    error=failure.error,
+                    scenario=failure.scenario,
+                    kind=failure.kind,
+                    attempts=seen,
+                )
+
+        def requeue_or_fail(gk, jobs, attempt, message) -> None:
+            if attempt >= policy.max_attempts:
+                self._fail_batch(
+                    gk[0], jobs, failures,
+                    message=message, kind=TRANSIENT, attempts=attempt,
+                )
+            else:
+                ready.append((gk, jobs, attempt + 1))
+
+        while ready or delayed or in_flight:
+            now = time.monotonic()
+            if delayed:
+                due = [item for item in delayed if item[0] <= now]
+                delayed = [item for item in delayed if item[0] > now]
+                for _t, gk, jobs, attempt in due:
+                    ready.append((gk, jobs, attempt))
+            pool_died = False
+            while ready and not pool_died:
+                gk, jobs, attempt = ready.popleft()
+                try:
+                    submit(gk, jobs, attempt)
+                except BrokenExecutor:
+                    # The pool died between batches; put the work back
+                    # and fall through to the shared death handling.
+                    ready.appendleft((gk, jobs, attempt))
+                    pool_died = True
+            if in_flight and not pool_died:
+                timeout = self._wait_timeout(in_flight, delayed)
+                done, _pending = wait(
+                    set(in_flight), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    gk, jobs, attempt, _deadline = in_flight.pop(future)
+                    try:
+                        batch = future.result()
+                    except BrokenExecutor:
+                        pool_died = True
+                        requeue_or_fail(
+                            gk, jobs, attempt,
+                            "worker process died evaluating this batch",
+                        )
+                    except Exception as error:
+                        # The batch runner itself blew up (satellite
+                        # bugfix): classify and record, never propagate.
+                        self._fail_batch(
+                            gk[0], jobs, failures,
+                            error=error, attempts=attempt,
+                        )
+                    else:
+                        supervisor.note_success()
+                        handle_success(gk, jobs, batch)
+                # Straggler sweep: any batch past its deadline is
+                # resubmitted to fresh workers (the hung worker still
+                # occupies a slot, so the pool must be rebuilt).
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, (_gk, _j, _a, deadline) in in_flight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for future in overdue:
+                    gk, jobs, attempt, _deadline = in_flight.pop(future)
+                    stats.n_timeouts += 1
+                    pool_died = True
+                    requeue_or_fail(
+                        gk, jobs, attempt,
+                        f"batch exceeded its {cfg.batch_timeout_s:g}s "
+                        "deadline",
+                    )
+            elif not in_flight and delayed:
+                # Nothing running, nothing ready: sleep out the nearest
+                # backoff window.
+                time.sleep(
+                    max(0.0, min(t for t, *_rest in delayed) - now)
+                )
+            if pool_died:
+                supervisor.note_death()
+                # Whatever else was in flight rode the same pool;
+                # requeue it at the same attempt (it did not fail on
+                # its own merits).
+                for gk, jobs, attempt, _deadline in in_flight.values():
+                    ready.append((gk, jobs, attempt))
+                in_flight.clear()
+                if supervisor.should_degrade(cfg.max_pool_deaths):
+                    stats.degraded_to_serial = True
+                    break
+                supervisor.rebuild()
+                stats.n_pool_rebuilds += 1
+
+        if stats.degraded_to_serial:
+            # The parallel ladder is exhausted; drain the remainder
+            # serially in-process, where injected crash faults raise
+            # instead of exiting.  Batches were already counted.
+            leftovers: list[_Task] = []
+            for gk, jobs, _attempt in list(ready):
+                for key, scenario, point in jobs:
+                    leftovers.append((key, gk[0], scenario, point))
+            for _t, gk, jobs, _attempt in delayed:
+                for key, scenario, point in jobs:
+                    leftovers.append((key, gk[0], scenario, point))
+            self._execute_serial(
+                leftovers, netlists, stats, {}, fresh, failures
+            )
+
+    @staticmethod
+    def _wait_timeout(in_flight: dict, delayed: list) -> float | None:
+        """How long the event loop may block in ``wait``.
+
+        Bounded by the nearest batch deadline and the nearest retry
+        wake-up; ``None`` (block until a batch finishes) when neither
+        exists.
+        """
+        now = time.monotonic()
+        bounds = [
+            deadline - now
+            for _gk, _jobs, _attempt, deadline in in_flight.values()
+            if deadline is not None
+        ]
+        bounds.extend(t - now for t, *_rest in delayed)
+        if not bounds:
+            return None
+        return max(0.0, min(bounds))
 
     def _load_store(self) -> dict[_TaskKey, ExplorationRecord]:
         """Records already on disk, keyed for resume."""
@@ -645,13 +1009,15 @@ class SweepEngine:
         evaluated: dict[_TaskKey, ExplorationRecord] = {}
         failed: dict[_TaskKey, SweepFailure] = {}
         caches: dict[str, SynthesisCache] = {}
-        # One pool for the whole search: worker processes survive across
-        # generations, so their process-global synthesis caches keep a
-        # (circuit, policy) stage warm from generation 1 to generation N
-        # — without this, parallel searches would re-synthesize every
-        # stage each generation.
-        pool = (
-            ProcessPoolExecutor(max_workers=self.workers)
+        # One supervised pool for the whole search: worker processes
+        # survive across generations, so their process-global synthesis
+        # caches keep a (circuit, policy) stage warm from generation 1
+        # to generation N — without this, parallel searches would
+        # re-synthesize every stage each generation.  The supervisor
+        # also carries pool deaths across generations: a pool that died
+        # mid-generation is already rebuilt when the next ask() lands.
+        supervisor = (
+            PoolSupervisor(self.workers, persistent=True)
             if self.workers > 1
             else None
         )
@@ -660,12 +1026,12 @@ class SweepEngine:
         try:
             self._search_loop(
                 strategy, circuits, scenarios, netlists, stats,
-                on_disk, evaluated, failed, caches, pool, max_generations,
-                full_keys,
+                on_disk, evaluated, failed, caches, supervisor,
+                max_generations, full_keys,
             )
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if supervisor is not None:
+                supervisor.shutdown()
 
         # Screening evaluations (scaled scenarios the user never asked
         # for) are engine internals: they count in the stats, but the
@@ -690,7 +1056,7 @@ class SweepEngine:
         evaluated: dict[_TaskKey, ExplorationRecord],
         failed: dict[_TaskKey, SweepFailure],
         caches: dict[str, SynthesisCache],
-        pool: ProcessPoolExecutor | None,
+        supervisor: PoolSupervisor | None,
         max_generations: int,
         full_keys: set[_TaskKey],
     ) -> None:
@@ -737,7 +1103,8 @@ class SweepEngine:
                 proposal_keys.append((proposal, keys))
 
             fresh, failures = self._execute_tasks(
-                pending, netlists, stats, caches=caches, pool=pool
+                pending, netlists, stats, caches=caches,
+                supervisor=supervisor,
             )
             evaluated.update(fresh)
             failed.update(failures)

@@ -1,0 +1,205 @@
+"""Deterministic fault injection for sweep chaos testing.
+
+A :class:`FaultPlan` makes chosen evaluation tasks misbehave on purpose:
+crash the worker process, hang past the batch deadline, raise a
+transient error N times before succeeding, or tear a result-store write
+in half.  Tests use it to prove the resilience layer recovers to the
+exact fault-free result set; ``sweep --inject-faults SPEC`` exposes the
+same plans for manual chaos runs (see ``docs/robustness.md``).
+
+Determinism is the whole point: a plan is addressed by *task-key
+predicate* (substring match against the canonical key text), and each
+fault is armed for a fixed number of trips.  Trip state lives in a
+directory of atomically-created marker files, so it survives worker
+crashes and is shared between the parent process, pool workers, and any
+rebuilt pool — the N-th retry of a ``transient x N`` fault succeeds no
+matter which process runs it.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dse.resilience import TransientEvalError, WorkerCrashError
+
+#: Actions a fault spec can take when it fires.
+ACTIONS = ("crash", "hang", "transient", "corrupt")
+
+#: ``action[(seconds)][xN][@match]`` — e.g. ``crash``, ``hang(2.5)@b02``,
+#: ``transientx2@policy``, ``corrupt@s27``.
+_SPEC_RE = re.compile(
+    r"^(crash|hang|transient|corrupt)"
+    r"(?:\((\d+(?:\.\d+)?)\))?"
+    r"(?:x(\d+))?"
+    r"(?:@(.+))?$"
+)
+
+
+class InjectedTransientError(TransientEvalError):
+    """The failure a ``transient`` fault raises until its trips run out."""
+
+
+def key_text(key: tuple) -> str:
+    """Canonical match text of a task key: parts joined with ``|``.
+
+    Example: ``s27|paper-fig5|0|1.0|3|1.0|MRAM|1.0|1.0|1.0|True|1.0|None``
+    — a predicate like ``@s27|paper-fig5`` addresses every point of one
+    (circuit, scenario) pair, ``@crash`` nothing at all.
+    """
+    return "|".join(str(part) for part in key)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault.
+
+    Attributes:
+        action: ``crash`` (kill the worker process), ``hang`` (sleep
+            ``hang_s``, tripping the batch deadline), ``transient``
+            (raise :class:`InjectedTransientError`), or ``corrupt``
+            (tear the store write of the matching record in half).
+        match: substring predicate against :func:`key_text`; the empty
+            string matches every task.
+        times: trips before the fault disarms.
+        hang_s: sleep duration of a ``hang`` fault.
+    """
+
+    action: str
+    match: str = ""
+    times: int = 1
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {', '.join(ACTIONS)}"
+            )
+        if self.times < 1:
+            raise ValueError("fault times must be >= 1")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``action[(seconds)][xN][@match]`` entry."""
+        m = _SPEC_RE.match(text.strip())
+        if m is None:
+            raise ValueError(
+                f"bad fault spec {text!r}; expected "
+                "action[(seconds)][xN][@match] with action one of "
+                f"{', '.join(ACTIONS)} — e.g. 'crash', 'hang(2.5)@b02', "
+                "'transientx2@s27'"
+            )
+        action, seconds, times, match = m.groups()
+        kwargs: dict = {"action": action, "match": match or ""}
+        if times is not None:
+            kwargs["times"] = int(times)
+        if seconds is not None:
+            if action != "hang":
+                raise ValueError(
+                    f"bad fault spec {text!r}: only hang takes (seconds)"
+                )
+            kwargs["hang_s"] = float(seconds)
+        return cls(**kwargs)
+
+
+class FaultPlan:
+    """A set of armed faults plus their cross-process trip state.
+
+    Args:
+        specs: the faults, fired in order (the first matching, still
+            armed spec wins each call).
+        state_dir: directory for trip marker files; created if missing.
+            Every process injecting from the same plan must share it.
+
+    The plan is pickled into pool workers, so it holds only plain data;
+    all mutable state is the marker files.
+    """
+
+    def __init__(
+        self, specs: tuple[FaultSpec, ...] | list[FaultSpec],
+        state_dir: str | Path,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def parse(cls, text: str, state_dir: str | Path) -> "FaultPlan":
+        """Build a plan from semicolon-separated spec entries."""
+        entries = [part for part in text.split(";") if part.strip()]
+        if not entries:
+            raise ValueError("fault plan spec is empty")
+        return cls([FaultSpec.parse(entry) for entry in entries], state_dir)
+
+    def describe(self) -> str:
+        """One-line human summary (printed by the CLI)."""
+        parts = []
+        for spec in self.specs:
+            text = spec.action
+            if spec.action == "hang":
+                text += f"({spec.hang_s:g})"
+            if spec.times != 1:
+                text += f"x{spec.times}"
+            if spec.match:
+                text += f"@{spec.match}"
+            parts.append(text)
+        return "; ".join(parts)
+
+    def _trip(self, index: int, spec: FaultSpec) -> bool:
+        """Atomically claim one of the spec's remaining trips.
+
+        Trip n of spec i is the marker file ``fault-i-n``; O_EXCL
+        creation makes the claim race-free across processes, and the
+        files persisting across worker deaths is exactly what lets a
+        crash fault disarm after its N-th kill.
+        """
+        for n in range(spec.times):
+            marker = self.state_dir / f"fault-{index}-{n}"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def fire(self, text: str, allow_exit: bool = True) -> None:
+        """Inject the first armed fault matching ``text``, if any.
+
+        Called by the evaluation path just before a task runs.  ``crash``
+        kills the process outright when ``allow_exit`` is true (pool
+        workers) and raises :class:`WorkerCrashError` otherwise (serial
+        in-process execution, where a real exit would take the sweep
+        down with it).  ``corrupt`` never fires here — it belongs to the
+        store layer (:meth:`corrupt_append`).
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.action == "corrupt" or spec.match not in text:
+                continue
+            if not self._trip(index, spec):
+                continue
+            if spec.action == "crash":
+                if allow_exit:
+                    os._exit(13)
+                raise WorkerCrashError(f"injected worker crash for {text}")
+            if spec.action == "hang":
+                time.sleep(spec.hang_s)
+                return
+            raise InjectedTransientError(
+                f"injected transient failure for {text}"
+            )
+
+    def corrupt_append(self, text: str) -> bool:
+        """Whether the store should tear the write of this record."""
+        for index, spec in enumerate(self.specs):
+            if spec.action != "corrupt" or spec.match not in text:
+                continue
+            if self._trip(index, spec):
+                return True
+        return False

@@ -7,13 +7,33 @@ killed or crashed sweep loses at most the in-flight batch.  On restart the
 engine loads the partial file, skips every point already on disk, and
 appends only the remainder — resume-from-partial at the granularity of a
 single design point.
+
+Durability guarantees (see ``docs/robustness.md``):
+
+* every append is a **single ``os.write`` of whole lines** to an
+  ``O_APPEND`` descriptor — a SIGKILL between appends never leaves a
+  torn line, and concurrent appenders never interleave mid-line;
+* the ``fsync_every=N`` knob bounds post-SIGKILL loss to the last N
+  records (0 leaves flushing to the OS, the historical behavior);
+* an append onto a file whose last byte is not ``\\n`` (the tail a
+  crash *mid-write* leaves behind) first writes a newline, so the torn
+  tail can never merge with a fresh record — the loader then skips the
+  torn line alone and resume re-evaluates exactly that point;
+* :meth:`JsonlResultStore.rewrite` (and :meth:`compact` on top of it)
+  replaces the file via tempfile + ``os.replace``, so any rewrite is
+  all-or-nothing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dse.faults import FaultPlan
 
 from repro.core.replacement import ReplacementCriteria
 from repro.dse.explorer import DesignPoint, ExplorationRecord
@@ -103,28 +123,134 @@ class JsonlResultStore:
 
     Args:
         path: file to stream records to (created on first append).
+        fsync_every: fsync after every N appended records; 0 (default)
+            never fsyncs explicitly, so durability after SIGKILL is up
+            to the OS.  1 makes every record durable before the append
+            returns.
+        fault_plan: optional chaos plan whose ``corrupt`` faults tear
+            matching record writes in half (testing only).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        fsync_every: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        if fsync_every < 0:
+            raise ValueError("fsync_every must be >= 0")
         self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.fault_plan = fault_plan
         #: Malformed lines skipped by the most recent :meth:`load`.
         self.last_load_skipped = 0
+        self._unsynced = 0
+        # None = unknown (inspect the file on first append); afterwards
+        # tracks whether the last byte we know of is a newline.
+        self._tail_clean: bool | None = None
+
+    def _encode(self, record: ExplorationRecord) -> bytes:
+        data = (
+            json.dumps(record_to_dict(record), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        if self.fault_plan is not None:
+            from repro.dse.faults import key_text
+
+            if self.fault_plan.corrupt_append(key_text(record.key())):
+                # Simulate SIGKILL mid-write: half a line, no newline.
+                data = data[: max(1, len(data) // 2)]
+        return data
+
+    def _tail_needs_newline(self, fd: int) -> bool:
+        """Whether the existing file ends mid-line (torn crash tail)."""
+        if self._tail_clean is not None:
+            return not self._tail_clean
+        try:
+            size = os.fstat(fd).st_size
+            if size == 0:
+                return False
+            return os.pread(fd, 1, size - 1) != b"\n"
+        except OSError:  # pragma: no cover - non-seekable target
+            return False
+
+    def _append_bytes(self, data: bytes, n_records: int) -> None:
+        """One O_APPEND write of whole lines, with batched fsync."""
+        # O_RDWR, not O_WRONLY: tail inspection preads the last byte,
+        # which a write-only descriptor refuses (EBADF).
+        fd = os.open(
+            self.path, os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            if self._tail_needs_newline(fd):
+                # Seal a torn tail (ours via an injected corrupt fault,
+                # or a predecessor's crash) so it can never concatenate
+                # with — and thereby also destroy — the next record.
+                data = b"\n" + data
+            os.write(fd, data)
+            self._tail_clean = data.endswith(b"\n")
+            self._unsynced += n_records
+            if self.fsync_every and self._unsynced >= self.fsync_every:
+                os.fsync(fd)
+                self._unsynced = 0
+        finally:
+            os.close(fd)
 
     def append(self, record: ExplorationRecord) -> None:
-        """Append one record, flushed to disk immediately."""
-        line = json.dumps(record_to_dict(record), sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        """Append one record as a single whole-line write."""
+        self._append_bytes(self._encode(record), 1)
 
     def extend(self, records: list[ExplorationRecord]) -> None:
         """Append many records in one write."""
         if not records:
             return
-        lines = [
-            json.dumps(record_to_dict(r), sort_keys=True) for r in records
-        ]
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write("\n".join(lines) + "\n")
+        self._append_bytes(
+            b"".join(self._encode(r) for r in records), len(records)
+        )
+
+    def rewrite(self, records: list[ExplorationRecord]) -> None:
+        """Atomically replace the file's contents with ``records``.
+
+        The new contents are written to a sibling tempfile, fsynced,
+        and swapped in via ``os.replace`` — a crash at any instant
+        leaves either the old complete file or the new complete file,
+        never a half-rewritten store.
+        """
+        tmp = self.path.with_name(self.path.name + ".rewrite.tmp")
+        data = b"".join(
+            (json.dumps(record_to_dict(r), sort_keys=True) + "\n").encode(
+                "utf-8"
+            )
+            for r in records
+        )
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        self._tail_clean = True
+        self._unsynced = 0
+
+    def compact(self) -> int:
+        """Drop malformed lines and stale duplicate keys, atomically.
+
+        Keeps the *last* record per task key (a re-evaluation after a
+        torn write supersedes the original), rewrites via
+        :meth:`rewrite`, and returns the number of lines dropped.
+        """
+        if not self.path.exists():
+            return 0
+        n_lines = sum(
+            1 for line in self.path.read_text("utf-8").splitlines()
+            if line.strip()
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            by_key = {r.key(): r for r in self.load()}
+        kept = list(by_key.values())
+        self.rewrite(kept)
+        return n_lines - len(kept)
 
     def load(self) -> list[ExplorationRecord]:
         """All records currently on disk (empty list if the file is new).
