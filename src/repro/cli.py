@@ -15,6 +15,10 @@ Usage (after ``pip install -e .``)::
         --threshold-scales 0.9 1.2                 # adaptive search
     python -m repro sweep s27 --strategy halving --samples 24 \
         --generations 3                            # screen, then promote
+    python -m repro sweep s27 --results out.sqlite \
+        --store-backend sqlite                     # indexed SQLite store
+    python -m repro store stats out.sqlite         # store summary
+    python -m repro store migrate out.jsonl out.sqlite  # JSONL <-> SQLite
     python -m repro scenarios list                 # harvest environments
     python -m repro scenarios show rf-markov --seed 7
     python -m repro scenarios plot office-solar    # ASCII power profile
@@ -225,12 +229,12 @@ def _resilience_from_args(args: argparse.Namespace, fault_plan):
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.dse import (
         DesignSpace,
-        JsonlResultStore,
         SweepEngine,
         SweepSpec,
         make_strategy,
+        open_store,
     )
-    from repro.metrics import format_robustness, robustness_report
+    from repro.metrics import format_robustness
 
     if args.workers < 1:
         raise SystemExit("error: --workers must be >= 1")
@@ -269,8 +273,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: {error}") from None
     fault_plan = _parse_fault_plan(args)
     store = (
-        JsonlResultStore(
+        open_store(
             args.results,
+            backend=args.store_backend,
             fsync_every=args.fsync_every,
             fault_plan=fault_plan,
         )
@@ -367,7 +372,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     if multi_scenario and result.records:
-        entries = robustness_report(result.records)
+        entries = result.robustness()
         print()
         print(format_robustness(entries, limit=args.robustness_top))
         top = entries[0]
@@ -639,11 +644,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--results", metavar="FILE",
-        help="stream records to this JSON-lines file",
+        help="stream records to this result store (JSON lines or SQLite)",
+    )
+    p_sweep.add_argument(
+        "--store-backend", choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help="result-store backend; auto (default) detects an existing "
+        "file's format, else picks sqlite for .sqlite/.sqlite3/.db "
+        "extensions and jsonl otherwise",
     )
     p_sweep.add_argument(
         "--resume", action="store_true",
-        help="skip points already present in --results",
+        help="skip points already present in --results (indexed key "
+        "lookup; warns if the store's base configuration differs)",
     )
     p_sweep.add_argument(
         "--max-attempts", type=int, default=3, metavar="N",
@@ -715,8 +728,10 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_fig4
     )
 
+    from repro.dse.store_cli import register_store_parser
     from repro.perf.cli import register_perf_parser
 
+    register_store_parser(sub)
     register_perf_parser(sub)
     return parser
 

@@ -6,6 +6,7 @@ automated design tool" (Section I); this package is that tool's
 exploration machinery, with harvest scenarios as a first-class axis.
 """
 
+from repro.dse.aggregate import GroupAggregate, SweepAggregator
 from repro.dse.engine import (
     SweepEngine,
     SweepFailure,
@@ -31,9 +32,16 @@ from repro.dse.resilience import (
     WorkerCrashError,
 )
 from repro.dse.scoring import best_pdp_by_group, pdp_degradation
+from repro.dse.sqlite_store import SqliteResultStore
 from repro.dse.store import (
+    STORE_SCHEMA_VERSION,
     JsonlResultStore,
+    ResultStore,
+    detect_backend,
+    migrate_store,
+    open_store,
     record_from_dict,
+    record_key_from_dict,
     record_to_dict,
 )
 from repro.dse.strategies import (
@@ -56,6 +64,7 @@ from repro.dse.threshold_opt import (
 )
 
 __all__ = [
+    "STORE_SCHEMA_VERSION",
     "STRATEGIES",
     "DesignPoint",
     "DesignSpace",
@@ -65,6 +74,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "GridStrategy",
+    "GroupAggregate",
     "JsonlResultStore",
     "MarginOutcome",
     "ParetoEvolutionStrategy",
@@ -73,9 +83,12 @@ __all__ = [
     "RandomStrategy",
     "Range",
     "ResilienceConfig",
+    "ResultStore",
     "RetryPolicy",
     "SearchStrategy",
+    "SqliteResultStore",
     "SuccessiveHalvingStrategy",
+    "SweepAggregator",
     "SweepEngine",
     "SweepFailure",
     "SweepResult",
@@ -86,14 +99,18 @@ __all__ = [
     "WorkerCrashError",
     "best_margin",
     "best_pdp_by_group",
+    "detect_backend",
     "evaluate_point",
     "expand_points",
     "hypervolume_2d",
     "make_strategy",
+    "migrate_store",
+    "open_store",
     "pareto_front",
     "pdp_degradation",
     "record_front",
     "record_from_dict",
+    "record_key_from_dict",
     "record_to_dict",
     "sweep_safe_margin",
 ]

@@ -13,9 +13,12 @@ tractable:
   :class:`concurrent.futures.ProcessPoolExecutor` with a configurable
   worker count; point evaluation is pure, so parallel results are
   identical to the serial path (modulo ordering);
-* **streaming + resume** — records stream to a
-  :class:`~repro.dse.store.JsonlResultStore` as batches complete, and a
-  re-run against a partial store skips every point already on disk;
+* **streaming + resume** — records stream to any
+  :class:`~repro.dse.store.ResultStore` backend (JSONL or SQLite/WAL)
+  as batches complete, feeding an incremental
+  :class:`~repro.dse.aggregate.SweepAggregator`; a re-run against a
+  partial store skips every point already on disk via the store's
+  indexed ``keys()`` — resume never materializes the full record set;
 * **search strategies** — :meth:`SweepEngine.run` walks a
   full-factorial :class:`SweepSpec`; :meth:`SweepEngine.run_search`
   drives any :class:`~repro.dse.strategies.SearchStrategy` through the
@@ -35,7 +38,9 @@ tractable:
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
+from collections.abc import Iterable
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -63,7 +68,12 @@ from repro.dse.resilience import (
     classify,
     describe_error,
 )
-from repro.dse.store import JsonlResultStore
+from repro.dse.aggregate import SweepAggregator
+from repro.dse.store import (
+    ResultStore,
+    config_fingerprint,
+    value_fingerprint,
+)
 from repro.dse.strategies import EvalOutcome, SearchStrategy
 from repro.energy.scenarios import ScenarioSpec
 from repro.suite.registry import load_circuit
@@ -82,6 +92,24 @@ def _task_key(
     circuit: str, scenario: ScenarioSpec, point: DesignPoint
 ) -> _TaskKey:
     return (circuit, *scenario.identity(), *point.identity())
+
+
+def _spec_axes(spec: "SweepSpec") -> dict:
+    """JSON-representable axes payload for the spec fingerprint."""
+    return {
+        "circuits": list(spec.circuits),
+        "policies": list(spec.policies),
+        "budget_scales": list(spec.budget_scales),
+        "technologies": [t.name for t in spec.technologies],
+        "criteria_sets": [
+            [c.level_weight, c.power_weight, c.fanio_weight]
+            for c in spec.criteria_sets
+        ],
+        "safe_zones": list(spec.safe_zones),
+        "threshold_scales": list(spec.threshold_scales),
+        "safe_margin_scales": list(spec.safe_margin_scales),
+        "scenarios": [list(s.identity()) for s in spec.scenarios],
+    }
 
 
 @dataclass(frozen=True)
@@ -285,13 +313,36 @@ class SweepResult:
     raised (an infeasible safe-margin, a trace too weak for the
     configuration, or a scenario that no longer resolves — e.g. a moved
     power-log file) so one bad point never aborts the sweep.
+
+    ``aggregate`` carries the incremental per-(scenario, circuit)
+    aggregates the engine streamed while the sweep ran.  A result can
+    also be a pure **store-backed view** (:meth:`from_store`): no
+    ``records`` at all, every aggregate answered from the streamed
+    accumulators — the memory-light way to inspect a store far larger
+    than the process should hold.
     """
 
     records: list[ExplorationRecord] = field(default_factory=list)
     stats: SweepStats = field(default_factory=SweepStats)
     failures: list[SweepFailure] = field(default_factory=list)
+    aggregate: SweepAggregator | None = None
 
-    def _require_single_scenario(self, what: str, instead: str) -> None:
+    @classmethod
+    def from_store(cls, store: ResultStore) -> "SweepResult":
+        """A store-backed view: aggregates without the record list.
+
+        ``best``/``front``/``fronts_by_scenario``/``best_by_scenario``/
+        ``robustness`` all work; :meth:`by_scenario` (which by
+        definition returns every record) stays empty.
+        """
+        return cls(aggregate=SweepAggregator.from_store(store))
+
+    def _require_single_scenario(
+        self,
+        what: str,
+        instead: str,
+        groups: set[tuple[str, str]] | None = None,
+    ) -> None:
         """Guard the cross-record aggregates against mixed groups.
 
         PDP values are only comparable inside one (scenario, circuit)
@@ -300,7 +351,8 @@ class SweepResult:
         mix scenarios *or* circuits would crown whichever record ran
         under the most generous scenario on the smallest circuit.
         """
-        groups = {(r.scenario.label(), r.circuit) for r in self.records}
+        if groups is None:
+            groups = {(r.scenario.label(), r.circuit) for r in self.records}
         if len(groups) > 1:
             names = ", ".join(
                 f"{scenario}/{circuit}"
@@ -321,6 +373,14 @@ class SweepResult:
                 :meth:`best_by_scenario` /
                 :func:`repro.metrics.robustness_report` instead).
         """
+        if not self.records and self.aggregate is not None:
+            candidates = self.aggregate.best()
+            if not candidates:
+                raise ValueError("no records to choose from")
+            self._require_single_scenario(
+                "best", "best_by_scenario", set(candidates)
+            )
+            return next(iter(candidates.values()))
         if not self.records:
             raise ValueError("no records to choose from")
         self._require_single_scenario("best", "best_by_scenario")
@@ -333,6 +393,12 @@ class SweepResult:
             ValueError: on records from more than one (scenario,
                 circuit) group (use :meth:`fronts_by_scenario` instead).
         """
+        if not self.records and self.aggregate is not None:
+            fronts = self.aggregate.fronts()
+            self._require_single_scenario(
+                "front", "fronts_by_scenario", set(fronts)
+            )
+            return next(iter(fronts.values()), [])
         self._require_single_scenario("front", "fronts_by_scenario")
         return record_front(self.records)
 
@@ -354,7 +420,14 @@ class SweepResult:
     def fronts_by_scenario(
         self,
     ) -> dict[tuple[str, str], list[ExplorationRecord]]:
-        """Per-(scenario, circuit) efficiency/resiliency Pareto fronts."""
+        """Per-(scenario, circuit) efficiency/resiliency Pareto fronts.
+
+        Computed from ``records`` (deterministic spec order) when they
+        are present; a store-backed view answers from the streamed
+        aggregates instead — same membership, aggregation order.
+        """
+        if not self.records and self.aggregate is not None:
+            return self.aggregate.fronts()
         return {
             key: record_front(records)
             for key, records in self.by_scenario().items()
@@ -362,10 +435,24 @@ class SweepResult:
 
     def best_by_scenario(self) -> dict[tuple[str, str], ExplorationRecord]:
         """The PDP-optimal record of each (scenario, circuit) group."""
+        if not self.records and self.aggregate is not None:
+            return self.aggregate.best()
         return {
             key: min(records, key=lambda r: r.pdp_js)
             for key, records in self.by_scenario().items()
         }
+
+    def robustness(self) -> list:
+        """Cross-scenario robustness entries, most robust first.
+
+        :func:`repro.metrics.robustness.robustness_report` over the
+        records, or the streamed equivalent for a store-backed view.
+        """
+        if not self.records and self.aggregate is not None:
+            return self.aggregate.robustness()
+        from repro.metrics.robustness import robustness_report
+
+        return robustness_report(self.records)
 
 
 #: Worker-process-global synthesis caches, keyed like the serial path's
@@ -451,9 +538,11 @@ class SweepEngine:
             single shared synthesis cache, >1 fans batches out over a
             process pool.
         base_config: synthesis defaults shared by every point.
-        store: optional streaming result store; when given, records are
-            appended as they are produced and ``resume=True`` skips
-            points the store already holds.
+        store: optional streaming result store (any
+            :class:`~repro.dse.store.ResultStore` backend); when given,
+            records are appended as they are produced and
+            ``resume=True`` skips points the store already holds — via
+            the store's indexed ``keys()``, never a full ``load()``.
         resilience: retry/timeout/pool-supervision configuration
             (default: supervised with the default
             :class:`~repro.dse.resilience.RetryPolicy`); pass
@@ -464,7 +553,7 @@ class SweepEngine:
         self,
         workers: int = 1,
         base_config: DiacConfig | None = None,
-        store: JsonlResultStore | None = None,
+        store: ResultStore | None = None,
         resilience: ResilienceConfig | None = None,
     ) -> None:
         if workers < 1:
@@ -475,6 +564,57 @@ class SweepEngine:
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
+        # Active-run aggregation state, set by run()/run_search():
+        # records committed via _commit() also fold into the aggregator
+        # (restricted to _aggregate_keys when that is not None, so a
+        # search's screening evaluations stream to the store but stay
+        # out of the user-facing aggregates).
+        self._aggregate: SweepAggregator | None = None
+        self._aggregate_keys: set[_TaskKey] | None = None
+        self._aggregated: set[_TaskKey] = set()
+
+    def _fold(
+        self,
+        keyed_records: Iterable[tuple[_TaskKey, ExplorationRecord]],
+    ) -> None:
+        """Fold records into the active aggregator, at most once per key.
+
+        Honors the ``_aggregate_keys`` restriction (a search's
+        screening evaluations stay out of the aggregates) and tracks
+        folded keys so a key promoted to full fidelity *after* its
+        record already existed still aggregates exactly once.
+        """
+        if self._aggregate is None:
+            return
+        allowed = self._aggregate_keys
+        picked = [
+            (key, record)
+            for key, record in keyed_records
+            if (allowed is None or key in allowed)
+            and key not in self._aggregated
+        ]
+        self._aggregated.update(key for key, _record in picked)
+        self._aggregate.add_many(record for _key, record in picked)
+
+    def _commit(
+        self,
+        keyed_records: list[tuple[_TaskKey, ExplorationRecord]],
+    ) -> None:
+        """Persist one completed batch and fold it into the aggregates.
+
+        The single exit point for produced records: every execution
+        path (serial, bare parallel, supervised parallel) hands its
+        completions here, so streaming-to-store and incremental
+        aggregation can never drift apart.
+        """
+        if not keyed_records:
+            return
+        if self.store is not None:
+            if len(keyed_records) == 1:
+                self.store.append(keyed_records[0][1])
+            else:
+                self.store.extend([r for _k, r in keyed_records])
+        self._fold(keyed_records)
 
     def _execute_tasks(
         self,
@@ -601,8 +741,7 @@ class SweepEngine:
                     )
                     break
                 fresh[key] = record
-                if self.store is not None:
-                    self.store.append(record)
+                self._commit([(key, record)])
                 break
         stats.synthesize_calls += (
             sum(c.synthesize_calls for c in caches.values()) - before
@@ -654,8 +793,7 @@ class SweepEngine:
             failures.update(batch_failures)
             for key, record in records:
                 fresh[key] = record
-            if self.store is not None:
-                self.store.extend([r for _k, r in records])
+            self._commit(records)
 
     @staticmethod
     def _fail_batch(
@@ -734,8 +872,7 @@ class SweepEngine:
             stats.synthesize_calls += synth_calls
             for key, record in records:
                 fresh[key] = record
-            if self.store is not None:
-                self.store.extend([r for _k, r in records])
+            self._commit(records)
             now = time.monotonic()
             for key, failure in batch_failures:
                 seen = task_failures.get(key, 0) + 1
@@ -883,11 +1020,78 @@ class SweepEngine:
             return None
         return max(0.0, min(bounds))
 
-    def _load_store(self) -> dict[_TaskKey, ExplorationRecord]:
-        """Records already on disk, keyed for resume."""
+    def _store_keys(self) -> set[_TaskKey]:
+        """Task keys already on disk — the indexed resume lookup.
+
+        Deliberately never ``load()``: resume against a large store
+        must not materialize every record just to learn which points
+        are done.
+        """
         if self.store is None:
-            return {}
-        return {r.key(): r for r in self.store.load()}
+            return set()
+        return self.store.keys()
+
+    def _fetch_records(
+        self, wanted: dict[_TaskKey, tuple[str, str]]
+    ) -> dict[_TaskKey, ExplorationRecord]:
+        """Materialize only the resumed records a run actually needs.
+
+        ``wanted`` maps each task key to its (scenario label, circuit)
+        group; records are fetched with one indexed
+        ``iter_records(scenario=, circuit=)`` query per group.  When a
+        key appears more than once on disk (a torn write healed by
+        re-evaluation), the last record wins — the same rule as store
+        compaction.
+        """
+        resumed: dict[_TaskKey, ExplorationRecord] = {}
+        if self.store is None or not wanted:
+            return resumed
+        by_group: dict[tuple[str, str], set[_TaskKey]] = {}
+        for key, group in wanted.items():
+            by_group.setdefault(group, set()).add(key)
+        for (label, circuit), keys in by_group.items():
+            for record in self.store.iter_records(
+                scenario=label, circuit=circuit
+            ):
+                key = record.key()
+                if key in keys:
+                    resumed[key] = record
+        return resumed
+
+    def _sync_store_metadata(self, axes: object, resume: bool) -> None:
+        """Stamp the run's spec fingerprint; warn before mixing configs.
+
+        Resume keys cover the circuit, scenario and exact design point
+        but NOT ``base_config`` — two stores written under different
+        base configurations hold records that are not comparable, and
+        nothing in the records themselves says so.  The store metadata
+        therefore carries a two-part fingerprint: the base-config hash
+        (mismatch = the silent-mixing hazard, warned about loudly) and
+        the axes hash (provenance only — growing a spec and resuming is
+        a supported workflow, not a mistake).
+        """
+        if self.store is None:
+            return
+        current = {
+            "base_config": config_fingerprint(self.base_config),
+            "axes": value_fingerprint(axes),
+        }
+        stored = self.store.get_metadata().get("spec_fingerprint")
+        if (
+            isinstance(stored, dict)
+            and stored.get("base_config") not in (None, current["base_config"])
+        ):
+            verb = "resuming" if resume else "appending"
+            warnings.warn(
+                f"{getattr(self.store, 'path', self.store)}: store was "
+                f"written under base configuration "
+                f"{stored['base_config']} but this run uses "
+                f"{current['base_config']}; {verb} mixes records that "
+                "are not comparable — keep one store per base "
+                "configuration",
+                stacklevel=3,
+            )
+        self.store.set_metadata(spec_fingerprint=current)
 
     def run(
         self,
@@ -901,11 +1105,15 @@ class SweepEngine:
             spec: the exploration space.
             netlists: circuit name -> netlist mapping; roster names are
                 loaded automatically when omitted.
-            resume: skip points already present in the result store.
-                Resume keys cover the circuit and the exact design point
-                but NOT ``base_config`` — resuming a store written under
-                a different base configuration silently mixes results,
-                so keep one store per base configuration.
+            resume: skip points already present in the result store,
+                found via the store's indexed ``keys()`` (the full
+                record set is never loaded).  Resume keys cover the
+                circuit and the exact design point but NOT
+                ``base_config`` — mixing base configurations in one
+                store makes its records incomparable, so the engine
+                fingerprints the base configuration in the store
+                metadata and warns when a run's fingerprint differs
+                from the store's.
 
         Returns:
             A :class:`SweepResult` with every record of the spec (fresh
@@ -931,16 +1139,35 @@ class SweepEngine:
                 seen.add(key)
                 tasks.append((key, circuit, scenario, point))
         stats = SweepStats(n_points=len(tasks), workers=self.workers)
+        self._sync_store_metadata(_spec_axes(spec), resume)
 
         resumed: dict[_TaskKey, ExplorationRecord] = {}
         if resume:
-            on_disk = self._load_store()
-            wanted = {key for key, *_rest in tasks}
-            resumed = {k: v for k, v in on_disk.items() if k in wanted}
+            on_disk = self._store_keys()
+            resumed = self._fetch_records(
+                {
+                    key: (scenario.label(), circuit)
+                    for key, circuit, scenario, _point in tasks
+                    if key in on_disk
+                }
+            )
         pending = [task for task in tasks if task[0] not in resumed]
         stats.n_resumed = len(tasks) - len(pending)
 
-        fresh, failures = self._execute_tasks(pending, netlists, stats)
+        aggregate = SweepAggregator()
+        self._aggregate = aggregate
+        self._aggregate_keys = None
+        self._aggregated = set()
+        try:
+            self._fold(
+                (key, resumed[key])
+                for key, *_rest in tasks
+                if key in resumed
+            )
+            fresh, failures = self._execute_tasks(pending, netlists, stats)
+        finally:
+            self._aggregate = None
+            self._aggregate_keys = None
 
         ordered = []
         for key, *_rest in tasks:
@@ -949,7 +1176,10 @@ class SweepEngine:
                 ordered.append(record)
         stats.wall_s = time.perf_counter() - start
         return SweepResult(
-            records=ordered, stats=stats, failures=list(failures.values())
+            records=ordered,
+            stats=stats,
+            failures=list(failures.values()),
+            aggregate=aggregate,
         )
 
     def run_search(
@@ -967,8 +1197,9 @@ class SweepEngine:
         :class:`~repro.dse.strategies.Proposal` s; every proposal is
         crossed with ``circuits`` x ``scenarios``, deduplicated against
         everything already evaluated (including previous generations and
-        — with ``resume=True`` — the JSONL store, whose keys are
-        identical to :meth:`run`'s), evaluated through the shared
+        — with ``resume=True`` — the result store, whose keys are
+        identical to :meth:`run`'s and are consulted via the indexed
+        ``keys()`` lookup), evaluated through the shared
         synthesis-cache/process-pool/store path, and handed back via
         ``tell``.
 
@@ -1005,7 +1236,18 @@ class SweepEngine:
                 netlists[name] = load_circuit(name)
 
         stats = SweepStats(workers=self.workers)
-        on_disk = self._load_store() if resume else {}
+        self._sync_store_metadata(
+            {
+                "search": type(strategy).__name__,
+                "circuits": list(circuits),
+                "scenarios": [list(s.identity()) for s in scenarios],
+            },
+            resume,
+        )
+        # Resume consults only the store's indexed keys; the records a
+        # generation actually resumes are fetched group by group inside
+        # the loop.  With resume off, nothing on disk is read at all.
+        store_keys = self._store_keys() if resume else set()
         evaluated: dict[_TaskKey, ExplorationRecord] = {}
         failed: dict[_TaskKey, SweepFailure] = {}
         caches: dict[str, SynthesisCache] = {}
@@ -1023,13 +1265,33 @@ class SweepEngine:
         )
 
         full_keys: set[_TaskKey] = set()
+        aggregate = SweepAggregator()
+        self._aggregate = aggregate
+        # Restrict aggregation to full-fidelity keys: screening
+        # evaluations stream to the store like any others but stay out
+        # of the user-facing aggregates, exactly like the result's
+        # records.  full_keys is the live set — it grows before each
+        # generation executes.
+        self._aggregate_keys = full_keys
+        self._aggregated = set()
         try:
             self._search_loop(
                 strategy, circuits, scenarios, netlists, stats,
-                on_disk, evaluated, failed, caches, supervisor,
+                store_keys, evaluated, failed, caches, supervisor,
                 max_generations, full_keys,
             )
+            # A key can join full_keys *after* its record was produced
+            # (a later generation re-proposes it at full fidelity);
+            # _fold's once-per-key tracking makes this sweep-up fold
+            # exactly the stragglers.
+            self._fold(
+                (key, evaluated[key])
+                for key in full_keys
+                if key in evaluated
+            )
         finally:
+            self._aggregate = None
+            self._aggregate_keys = None
             if supervisor is not None:
                 supervisor.shutdown()
 
@@ -1043,7 +1305,12 @@ class SweepEngine:
         ]
         failures = [failed[key] for key in failed if key in full_keys]
         stats.wall_s = time.perf_counter() - start
-        return SweepResult(records=records, stats=stats, failures=failures)
+        return SweepResult(
+            records=records,
+            stats=stats,
+            failures=failures,
+            aggregate=aggregate,
+        )
 
     def _search_loop(
         self,
@@ -1052,7 +1319,7 @@ class SweepEngine:
         scenarios: tuple[ScenarioSpec, ...],
         netlists: dict[str, Netlist],
         stats: SweepStats,
-        on_disk: dict[_TaskKey, ExplorationRecord],
+        store_keys: set[_TaskKey],
         evaluated: dict[_TaskKey, ExplorationRecord],
         failed: dict[_TaskKey, SweepFailure],
         caches: dict[str, SynthesisCache],
@@ -1065,7 +1332,9 @@ class SweepEngine:
         ``full_keys`` collects every task key whose effective scenario
         is one the caller requested (``scenario_scale == 1`` proposals),
         so the result can separate full-fidelity outcomes from
-        screening internals.
+        screening internals.  ``store_keys`` is the indexed resume set;
+        each generation batch-fetches just the resumed records its
+        proposals actually hit.
         """
         requested = {scenario.identity() for scenario in scenarios}
         for _generation in range(max_generations):
@@ -1077,6 +1346,8 @@ class SweepEngine:
             proposal_keys: list[tuple[object, list[_TaskKey]]] = []
             pending: list[_Task] = []
             pending_keys: set[_TaskKey] = set()
+            resume_hits: dict[_TaskKey, tuple[str, str]] = {}
+            resume_tasks: dict[_TaskKey, _Task] = {}
             for proposal in proposals:
                 keys = []
                 for circuit in circuits:
@@ -1090,17 +1361,32 @@ class SweepEngine:
                             key in evaluated
                             or key in failed
                             or key in pending_keys
+                            or key in resume_hits
                         ):
                             continue
                         stats.n_points += 1
-                        if key in on_disk:
-                            evaluated[key] = on_disk[key]
+                        if key in store_keys:
+                            resume_hits[key] = (scenario.label(), circuit)
+                            resume_tasks[key] = (key, circuit, scenario,
+                                                 proposal.point)
                             stats.n_resumed += 1
                             continue
                         pending_keys.add(key)
                         pending.append((key, circuit, scenario,
                                         proposal.point))
                 proposal_keys.append((proposal, keys))
+
+            if resume_hits:
+                fetched = self._fetch_records(resume_hits)
+                evaluated.update(fetched)
+                self._fold(fetched.items())
+                # Anything keys() promised but iter_records could not
+                # deliver (a store modified underneath a live search)
+                # is re-evaluated instead of silently dropped.
+                for key, task in resume_tasks.items():
+                    if key not in fetched and key not in pending_keys:
+                        pending_keys.add(key)
+                        pending.append(task)
 
             fresh, failures = self._execute_tasks(
                 pending, netlists, stats, caches=caches,

@@ -1,14 +1,28 @@
-"""Streaming result store for design-space sweeps.
+"""Pluggable result stores for design-space sweeps.
 
 The paper's "exponentially expanding" design space (Section I) makes
-sweeps long-running, so losing one to a crash is expensive.
-Exploration records stream to a JSON-lines file as they are produced, so a
-killed or crashed sweep loses at most the in-flight batch.  On restart the
-engine loads the partial file, skips every point already on disk, and
-appends only the remainder — resume-from-partial at the granularity of a
-single design point.
+sweeps long-running, so losing one to a crash is expensive — and big
+enough that re-reading every record to resume is its own scaling
+ceiling.  This module defines the storage contract the sweep engine
+depends on and the JSON-lines reference backend:
 
-Durability guarantees (see ``docs/robustness.md``):
+* :class:`ResultStore` — the protocol every backend implements:
+  streaming appends (``append``/``extend``), bulk access
+  (``load``/``rewrite``/``compact``), **indexed access** (``keys`` for
+  resume, ``get``/``iter_records``/``front``/``count`` for queries),
+  and a small metadata map (``get_metadata``/``set_metadata``) holding
+  the schema version and the sweep's spec fingerprint;
+* :class:`JsonlResultStore` — append-only JSON lines, the default
+  backend and the crash-safety reference (torn-tail semantics below);
+* :func:`open_store` — backend factory (explicit, or auto-detected
+  from the file's magic bytes / extension);
+* :func:`migrate_store` — record-exact migration between backends.
+
+The SQLite/WAL backend for large stores lives in
+:mod:`repro.dse.sqlite_store`; durability parity between the two is
+documented in ``docs/store.md``.
+
+JSONL durability guarantees (see ``docs/robustness.md``):
 
 * every append is a **single ``os.write`` of whole lines** to an
   ``O_APPEND`` descriptor — a SIGKILL between appends never leaves a
@@ -26,19 +40,36 @@ Durability guarantees (see ``docs/robustness.md``):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
+from collections.abc import Callable, Iterable, Iterator
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.diac import DiacConfig
     from repro.dse.faults import FaultPlan
 
 from repro.core.replacement import ReplacementCriteria
 from repro.dse.explorer import DesignPoint, ExplorationRecord
+from repro.dse.pareto import record_front
 from repro.energy.scenarios import ScenarioSpec
 from repro.tech.nvm import get_technology
+
+#: Version of the on-disk record layout, shared by every backend.  Bump
+#: when :func:`record_to_dict` output or the SQLite schema changes shape;
+#: stores written under a *newer* version are refused instead of being
+#: silently misread.
+STORE_SCHEMA_VERSION = 1
+
+#: File extensions :func:`open_store` maps to the SQLite backend when no
+#: existing file settles the question.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: First bytes of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
 
 
 def record_to_dict(record: ExplorationRecord) -> dict:
@@ -75,26 +106,27 @@ def record_to_dict(record: ExplorationRecord) -> dict:
     }
 
 
+def _scenario_from_dict(data: dict) -> ScenarioSpec:
+    """The record dict's scenario spec (missing entry = paper default)."""
+    scenario_data = data.get("scenario")
+    if not scenario_data:
+        # Stores written before the scenario axis existed were evaluated
+        # under exactly the default paper-fig5 environment.
+        return ScenarioSpec()
+    return ScenarioSpec(
+        name=scenario_data["name"],
+        seed=scenario_data["seed"],
+        scale=scenario_data["scale"],
+    )
+
+
 def record_from_dict(data: dict) -> ExplorationRecord:
     """Rebuild a record from :func:`record_to_dict` output.
-
-    A missing ``scenario`` entry (stores written before the scenario
-    axis existed) resolves to the default paper-fig5 environment, which
-    is exactly what those records were evaluated under.
 
     Raises:
         KeyError: on a malformed dict or unknown technology name.
     """
-    scenario_data = data.get("scenario")
-    scenario = (
-        ScenarioSpec(
-            name=scenario_data["name"],
-            seed=scenario_data["seed"],
-            scale=scenario_data["scale"],
-        )
-        if scenario_data
-        else ScenarioSpec()
-    )
+    scenario = _scenario_from_dict(data)
     point_data = data["point"]
     point = DesignPoint(
         policy=point_data["policy"],
@@ -118,8 +150,159 @@ def record_from_dict(data: dict) -> ExplorationRecord:
     )
 
 
-class JsonlResultStore:
+def record_key_from_dict(data: dict) -> tuple:
+    """The record's resume key, straight from its dict.
+
+    Exactly :meth:`ExplorationRecord.key` (circuit, scenario identity,
+    full-precision point identity) without paying for record
+    construction or technology lookup — the cheap path behind
+    :meth:`JsonlResultStore.keys`.
+
+    Raises:
+        KeyError: on a dict missing record fields.
+        TypeError: on a dict whose fields have the wrong shape.
+    """
+    point = data["point"]
+    criteria = point["criteria"]
+    return (
+        data["circuit"],
+        *_scenario_from_dict(data).identity(),
+        point["policy"],
+        point["budget_scale"],
+        point["technology"],
+        criteria["level_weight"],
+        criteria["power_weight"],
+        criteria["fanio_weight"],
+        point["use_safe_zone"],
+        point["threshold_scale"],
+        point["safe_margin_scale"],
+    )
+
+
+def scenario_label_of_key(key: tuple) -> str:
+    """Display label of the scenario baked into a resume key."""
+    return ScenarioSpec(name=key[1], seed=key[2], scale=key[3]).label()
+
+
+def value_fingerprint(payload: object) -> str:
+    """Short stable hash of any JSON-representable payload."""
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+def config_fingerprint(config: "DiacConfig | None") -> str:
+    """Fingerprint of a sweep's base synthesis configuration.
+
+    ``None`` (engine default) hashes identically to an explicit default
+    :class:`~repro.core.diac.DiacConfig`, since they evaluate alike.
+    Stored in the result store's metadata so a resume against a store
+    written under a *different* base configuration can warn instead of
+    silently mixing incomparable records (see
+    :meth:`repro.dse.engine.SweepEngine.run`).
+    """
+    from dataclasses import asdict
+
+    from repro.core.diac import DiacConfig
+
+    return value_fingerprint(asdict(config if config is not None else DiacConfig()))
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """The storage contract :class:`~repro.dse.engine.SweepEngine` uses.
+
+    Streaming writes, bulk access, indexed queries and a metadata map —
+    every backend (:class:`JsonlResultStore`,
+    :class:`repro.dse.sqlite_store.SqliteResultStore`) implements this
+    set; the engine, CLI and aggregation layer depend on nothing else.
+    """
+
+    def append(self, record: ExplorationRecord) -> None:
+        """Durably add one record."""
+        ...  # pragma: no cover - protocol
+
+    def extend(self, records: list[ExplorationRecord]) -> None:
+        """Durably add many records in one batch."""
+        ...  # pragma: no cover - protocol
+
+    def load(self) -> list[ExplorationRecord]:
+        """Every record on disk, in append order."""
+        ...  # pragma: no cover - protocol
+
+    def rewrite(self, records: list[ExplorationRecord]) -> None:
+        """Atomically replace the contents with ``records``."""
+        ...  # pragma: no cover - protocol
+
+    def compact(self) -> int:
+        """Drop damaged/stale entries; return how many were dropped."""
+        ...  # pragma: no cover - protocol
+
+    def keys(self) -> set[tuple]:
+        """Resume keys of every record, without materializing records."""
+        ...  # pragma: no cover - protocol
+
+    def count(self) -> int:
+        """Number of readable records."""
+        ...  # pragma: no cover - protocol
+
+    def get(self, key: tuple) -> ExplorationRecord | None:
+        """The record stored under one resume key, or ``None``."""
+        ...  # pragma: no cover - protocol
+
+    def iter_records(
+        self, scenario: str | None = None, circuit: str | None = None
+    ) -> Iterable[ExplorationRecord]:
+        """Records filtered by scenario label and/or circuit."""
+        ...  # pragma: no cover - protocol
+
+    def front(self, scenario: str, circuit: str) -> list[ExplorationRecord]:
+        """Pareto front of one (scenario label, circuit) group."""
+        ...  # pragma: no cover - protocol
+
+    def get_metadata(self) -> dict:
+        """The store's metadata map (empty when never written)."""
+        ...  # pragma: no cover - protocol
+
+    def set_metadata(self, **entries: object) -> None:
+        """Merge ``entries`` into the metadata map."""
+        ...  # pragma: no cover - protocol
+
+
+class StoreQueryMixin:
+    """Derived queries shared by backends, built on the primitives.
+
+    A backend with a cheaper native path (SQLite's indexed ``get``,
+    ``count``) overrides the relevant method.
+    """
+
+    def count(self) -> int:
+        """Number of readable records."""
+        return len(self.keys())
+
+    def get(self, key: tuple) -> ExplorationRecord | None:
+        """Scan the key's (scenario, circuit) group for an exact match."""
+        found = None
+        for record in self.iter_records(
+            scenario=scenario_label_of_key(key), circuit=key[0]
+        ):
+            if record.key() == key:
+                found = record  # last occurrence wins, like resume
+        return found
+
+    def front(self, scenario: str, circuit: str) -> list[ExplorationRecord]:
+        """Pareto front (PDP x re-execution) of one group's records."""
+        return record_front(
+            list(self.iter_records(scenario=scenario, circuit=circuit))
+        )
+
+
+class JsonlResultStore(StoreQueryMixin):
     """Append-only JSON-lines store for exploration records.
+
+    The default backend: humanly greppable, trivially concatenable, and
+    crash-safe at single-record granularity (module docstring).  Every
+    query walks the file, so resume and aggregation cost O(file) — the
+    SQLite backend is the indexed alternative for large stores.
 
     Args:
         path: file to stream records to (created on first append).
@@ -142,12 +325,15 @@ class JsonlResultStore:
         self.path = Path(path)
         self.fsync_every = fsync_every
         self.fault_plan = fault_plan
-        #: Malformed lines skipped by the most recent :meth:`load`.
+        #: Malformed lines skipped by the most recent scan (load/keys/
+        #: iter_records).
         self.last_load_skipped = 0
         self._unsynced = 0
         # None = unknown (inspect the file on first append); afterwards
         # tracks whether the last byte we know of is a newline.
         self._tail_clean: bool | None = None
+
+    # -- writes ---------------------------------------------------------
 
     def _encode(self, record: ExplorationRecord) -> bytes:
         data = (
@@ -252,8 +438,10 @@ class JsonlResultStore:
         self.rewrite(kept)
         return n_lines - len(kept)
 
-    def load(self) -> list[ExplorationRecord]:
-        """All records currently on disk (empty list if the file is new).
+    # -- reads ----------------------------------------------------------
+
+    def _scan(self, build: Callable[[dict], object]) -> list:
+        """Build one value per readable line; shared damage bookkeeping.
 
         A truncated *final* line (the expected artifact of a crash
         mid-append) is skipped silently.  Any other malformed line —
@@ -262,12 +450,13 @@ class JsonlResultStore:
         with a :class:`UserWarning` naming the file and the damaged line
         numbers: silently shrinking the store would make the engine
         quietly re-evaluate points it already paid for.  The skipped
-        count of the most recent load is kept on ``last_load_skipped``.
+        count of the most recent scan is kept on ``last_load_skipped``.
+        ``build`` may return ``None`` to filter a valid line out.
         """
         if not self.path.exists():
             self.last_load_skipped = 0
             return []
-        records = []
+        built = []
         bad: list[int] = []
         final_bad_is_truncation = False
         last_content_lineno = 0
@@ -284,12 +473,15 @@ class JsonlResultStore:
                     final_bad_is_truncation = True
                     continue
                 try:
-                    records.append(record_from_dict(data))
+                    value = build(data)
                 except (AttributeError, KeyError, TypeError, ValueError):
                     # Valid JSON that is not a record dict: 'null', a
                     # list, wrong/extra fields, an unknown technology...
                     bad.append(lineno)
                     final_bad_is_truncation = False
+                    continue
+                if value is not None:
+                    built.append(value)
         self.last_load_skipped = len(bad)
         tolerated_tail = (
             bad == [last_content_lineno] and final_bad_is_truncation
@@ -303,6 +495,143 @@ class JsonlResultStore:
                 f"(line {shown}); only a truncated final line is an "
                 "expected crash artifact — anything else silently "
                 "shrinks resume and forces re-evaluation",
-                stacklevel=2,
+                stacklevel=3,
             )
-        return records
+        return built
+
+    def load(self) -> list[ExplorationRecord]:
+        """All records currently on disk (empty list if the file is new)."""
+        return self._scan(record_from_dict)
+
+    def keys(self) -> set[tuple]:
+        """Resume keys of every readable record.
+
+        Parses each line's identity fields only — no record objects, no
+        technology lookups — which is what makes resume on a large
+        store cheaper than :meth:`load`.
+        """
+        return set(self._scan(record_key_from_dict))
+
+    def iter_records(
+        self, scenario: str | None = None, circuit: str | None = None
+    ) -> Iterator[ExplorationRecord]:
+        """Records filtered by scenario label and/or circuit.
+
+        Filters on the parsed dict before building record objects, so a
+        narrow query over a wide store skips the expensive part of
+        every non-matching line.  (The file is still read end to end —
+        indexed group queries are the SQLite backend's job.)
+        """
+
+        def build(data: dict) -> ExplorationRecord | None:
+            if circuit is not None and data["circuit"] != circuit:
+                return None
+            if (
+                scenario is not None
+                and _scenario_from_dict(data).label() != scenario
+            ):
+                return None
+            return record_from_dict(data)
+
+        return iter(self._scan(build))
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def metadata_path(self) -> Path:
+        """Sidecar JSON file holding the store's metadata map."""
+        return self.path.with_name(self.path.name + ".meta.json")
+
+    def get_metadata(self) -> dict:
+        """The sidecar metadata map ({} when absent or unreadable)."""
+        try:
+            data = json.loads(self.metadata_path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def set_metadata(self, **entries: object) -> None:
+        """Merge ``entries`` into the sidecar, atomically.
+
+        The schema version is stamped alongside, so any store with
+        metadata also declares the record layout it was written under.
+        """
+        meta = self.get_metadata()
+        meta.update(entries)
+        meta.setdefault("schema_version", STORE_SCHEMA_VERSION)
+        tmp = self.metadata_path.with_name(self.metadata_path.name + ".tmp")
+        tmp.write_text(json.dumps(meta, sort_keys=True, indent=1), "utf-8")
+        os.replace(tmp, self.metadata_path)
+
+
+def detect_backend(path: str | Path) -> str:
+    """Which backend a path belongs to: ``jsonl`` or ``sqlite``.
+
+    An existing file answers authoritatively via its magic bytes (a
+    store renamed to the "wrong" extension still opens correctly);
+    otherwise the extension decides, with JSONL the default.
+    """
+    path = Path(path)
+    if path.is_file():
+        try:
+            with path.open("rb") as handle:
+                if handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
+                    return "sqlite"
+                return "jsonl"
+        except OSError:  # pragma: no cover - unreadable file
+            pass
+    return "sqlite" if path.suffix in SQLITE_SUFFIXES else "jsonl"
+
+
+def open_store(
+    path: str | Path,
+    backend: str = "auto",
+    fsync_every: int = 0,
+    fault_plan: "FaultPlan | None" = None,
+) -> ResultStore:
+    """Open a result store, picking the backend when asked to.
+
+    Args:
+        path: store file (JSON lines or SQLite database).
+        backend: ``jsonl``, ``sqlite``, or ``auto`` (default) to decide
+            via :func:`detect_backend`.
+        fsync_every: durability knob, passed to the backend (see
+            :class:`JsonlResultStore`).
+        fault_plan: chaos plan for ``corrupt`` fault injection.
+
+    Raises:
+        ValueError: for an unknown backend name.
+    """
+    if backend == "auto":
+        backend = detect_backend(path)
+    if backend == "jsonl":
+        return JsonlResultStore(
+            path, fsync_every=fsync_every, fault_plan=fault_plan
+        )
+    if backend == "sqlite":
+        from repro.dse.sqlite_store import SqliteResultStore
+
+        return SqliteResultStore(
+            path, fsync_every=fsync_every, fault_plan=fault_plan
+        )
+    raise ValueError(
+        f"unknown store backend {backend!r}; expected jsonl, sqlite or auto"
+    )
+
+
+def migrate_store(source: ResultStore, dest: ResultStore) -> int:
+    """Copy every record (and the spec fingerprint) between backends.
+
+    The destination is rewritten — migration is all-or-nothing, and a
+    JSONL -> SQLite -> JSONL round trip reproduces the record dicts
+    exactly (pinned by the migration tests).
+
+    Returns:
+        The number of records migrated.
+    """
+    records = source.load()
+    dest.rewrite(records)
+    fingerprint = source.get_metadata().get("spec_fingerprint")
+    if fingerprint is not None:
+        dest.set_metadata(spec_fingerprint=fingerprint)
+    return len(records)

@@ -16,6 +16,10 @@ prepared outside the timed section:
 * ``sweep-resilience`` — the same serial workload with the fault
   recovery layer enabled versus disabled (A/B interleaved), reporting
   the measured ``overhead_vs_disabled`` ratio;
+* ``store-backends`` — result-store throughput A/B: the same
+  append/extend/keys/group-query/load workload against the SQLite
+  backend (timed) and the JSONL backend (baseline), reporting the
+  measured ``sqlite_vs_jsonl`` ratio;
 * ``suite-eval-quick`` / ``suite-eval-full`` — the Fig. 5
   :func:`repro.evaluation.evaluate_suite` harness, including the
   measured speedup of the memoized block-costing path over the
@@ -355,6 +359,102 @@ def _sweep_warm(repeats: int) -> SuiteResult:
 
 
 # ---------------------------------------------------------------------------
+# store-backends — ResultStore throughput, SQLite vs JSONL
+# ---------------------------------------------------------------------------
+
+#: Records minted for the store workload (half batch-extended, half
+#: appended one by one — the engine's two streaming shapes).
+STORE_BENCH_RECORDS = 512
+
+
+def _store_backends(repeats: int) -> SuiteResult:
+    """Store throughput A/B: the SQLite backend against JSONL.
+
+    One real evaluation is minted into ``STORE_BENCH_RECORDS`` distinct
+    records (unique ``budget_scale`` -> unique resume keys) so the
+    timed section measures the stores, not the simulator.  Each timed
+    run exercises the protocol the engine and the CLI actually use:
+    batch ``extend``, per-record ``append``, the indexed ``keys()``
+    resume lookup, one ``iter_records`` group query, and a full
+    ``load()``.  SQLite is the timed side, JSONL the interleaved
+    baseline, so the recorded ``sqlite_vs_jsonl`` ratio stays stable
+    under background load.
+    """
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.dse import DesignPoint, evaluate_point
+    from repro.dse.sqlite_store import SqliteResultStore
+    from repro.dse.store import JsonlResultStore
+    from repro.perf.timing import time_paired
+    from repro.suite import load_circuit
+
+    base = evaluate_point(load_circuit("s27"), DesignPoint())
+    base.circuit = "s27"
+    scenario_label = base.scenario.label()
+    records = [
+        replace(
+            base,
+            point=replace(base.point, budget_scale=1.0 + i / 1024.0),
+        )
+        for i in range(STORE_BENCH_RECORDS)
+    ]
+    half = STORE_BENCH_RECORDS // 2
+
+    def run_workload(make_store) -> dict[str, int]:
+        tmpdir = tempfile.mkdtemp(prefix="repro-storebench-")
+        try:
+            store = make_store(tmpdir)
+            store.extend(records[:half])
+            for record in records[half:]:
+                store.append(record)
+            keys = store.keys()
+            group = list(
+                store.iter_records(scenario=scenario_label, circuit="s27")
+            )
+            loaded = store.load()
+            if hasattr(store, "close"):
+                store.close()
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        return {
+            "records": len(loaded),
+            "keys": len(keys),
+            "group_rows": len(group),
+        }
+
+    def run_sqlite():
+        return run_workload(
+            lambda d: SqliteResultStore(f"{d}/bench.sqlite")
+        )
+
+    def run_jsonl():
+        return run_workload(
+            lambda d: JsonlResultStore(f"{d}/bench.jsonl")
+        )
+
+    timing, baseline, counts = time_paired(
+        run_sqlite, run_jsonl, repeats=repeats
+    )
+    return SuiteResult(
+        name="store-backends",
+        timing=timing,
+        rates={
+            "records_per_s": STORE_BENCH_RECORDS / timing.wall_s,
+            "jsonl_wall_s": baseline.wall_s,
+            "sqlite_vs_jsonl": timing.wall_s / baseline.wall_s,
+        },
+        counters={
+            "circuit": "s27",
+            "appended": STORE_BENCH_RECORDS - half,
+            "extended": half,
+            **counts,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # suite-eval — the Fig. 5 evaluate_suite harness, memoized vs baseline
 # ---------------------------------------------------------------------------
 
@@ -423,6 +523,7 @@ SUITES: tuple[SuiteSpec, ...] = (
     SuiteSpec("sweep-resilience", _sweep_resilience),
     SuiteSpec("sweep-warm", _sweep_warm),
     SuiteSpec("sweep-parallel", _sweep_parallel),
+    SuiteSpec("store-backends", _store_backends),
     SuiteSpec("suite-eval-quick", _suite_eval_quick),
     SuiteSpec("suite-eval-full", _suite_eval_full, in_quick=False),
 )

@@ -29,6 +29,7 @@ from repro.dse import (
     TransientEvalError,
     WorkerCrashError,
     make_strategy,
+    open_store,
 )
 from repro.dse.faults import InjectedTransientError
 from repro.dse.resilience import (
@@ -336,6 +337,14 @@ class TestParallelRecovery:
         assert fingerprints(chaotic) == fingerprints(clean)
 
 
+#: Both result-store backends; backend-neutral tests run against each.
+BACKENDS = ("jsonl", "sqlite")
+
+
+def make_store(tmp_path, backend, **kwargs):
+    return open_store(tmp_path / f"r.{backend}", backend=backend, **kwargs)
+
+
 class TestCrashSafeStore:
     def run_with_store(self, store, netlists, fault_plan=None, resume=False):
         return SweepEngine(
@@ -346,12 +355,14 @@ class TestCrashSafeStore:
             ),
         ).run(RES_SPEC, netlists=netlists, resume=resume)
 
-    def test_fsync_every_validation(self, tmp_path):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fsync_every_validation(self, tmp_path, backend):
         with pytest.raises(ValueError, match="fsync_every"):
-            JsonlResultStore(tmp_path / "r.jsonl", fsync_every=-1)
+            make_store(tmp_path, backend, fsync_every=-1)
 
-    def test_fsync_every_appends_durably(self, tmp_path, netlists):
-        store = JsonlResultStore(tmp_path / "r.jsonl", fsync_every=1)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fsync_every_appends_durably(self, tmp_path, backend, netlists):
+        store = make_store(tmp_path, backend, fsync_every=1)
         result = self.run_with_store(store, netlists)
         assert len(store.load()) == len(result.records) == 2
 
@@ -363,28 +374,32 @@ class TestCrashSafeStore:
         for line in lines:
             json.loads(line)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     def test_corrupt_fault_tears_write_and_resume_heals(
-        self, tmp_path, netlists, clean_fingerprints
+        self, tmp_path, backend, netlists, clean_fingerprints
     ):
-        path = tmp_path / "r.jsonl"
         # Keys render as raw parts (s27|paper-fig5|...|3|0.5|MRAM|...),
-        # so |0.5| addresses exactly the budget-0.5 point.
+        # so |0.5| addresses exactly the budget-0.5 point.  JSONL tears
+        # the line mid-write; SQLite models the same power cut as a
+        # dropped transaction — either way one record survives.
         fault_plan = plan(tmp_path, "corrupt@|0.5|")
-        store = JsonlResultStore(path, fault_plan=fault_plan)
+        store = make_store(tmp_path, backend, fault_plan=fault_plan)
         self.run_with_store(store, netlists, fault_plan=fault_plan)
-        # The torn write is sealed with a newline before the next
-        # append, so exactly one line is damaged and one survives.
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            assert len(JsonlResultStore(path).load()) == 1
-        # Resume re-evaluates only the torn point and completes the set.
-        healed = JsonlResultStore(path)
-        with pytest.warns(UserWarning, match="malformed"):
+            assert len(make_store(tmp_path, backend).load()) == 1
+        # Resume re-evaluates only the damaged point and completes the
+        # set.  Only JSONL leaves a torn line behind to warn about.
+        healed = make_store(tmp_path, backend)
+        if backend == "jsonl":
+            with pytest.warns(UserWarning, match="malformed"):
+                result = self.run_with_store(healed, netlists, resume=True)
+        else:
             result = self.run_with_store(healed, netlists, resume=True)
         assert result.stats.n_resumed == 1
         assert fingerprints(result) == clean_fingerprints
         dropped = healed.compact()
-        assert dropped == 1
+        assert dropped == (1 if backend == "jsonl" else 0)
         assert sorted(fingerprint(r) for r in healed.load()) == (
             clean_fingerprints
         )
@@ -397,19 +412,27 @@ class TestCrashSafeStore:
         lines = path.read_text().splitlines()
         assert lines == ['{"torn": ', '{"whole": 1}']
 
-    def test_rewrite_is_atomic_and_resets_tail(self, tmp_path, netlists):
-        path = tmp_path / "r.jsonl"
-        store = JsonlResultStore(path)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rewrite_is_atomic_and_resets_tail(
+        self, tmp_path, backend, netlists
+    ):
+        path = tmp_path / f"r.{backend}"
+        store = make_store(tmp_path, backend)
         result = self.run_with_store(store, netlists)
         store.rewrite(result.records)
         assert not path.with_name(path.name + ".rewrite.tmp").exists()
         assert len(store.load()) == 2
 
-    def test_compact_keeps_last_record_per_key(self, tmp_path, netlists):
-        store = JsonlResultStore(tmp_path / "r.jsonl")
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_duplicate_keys_collapse_to_last_record(
+        self, tmp_path, backend, netlists
+    ):
+        # JSONL appends duplicates and compact() drops them; SQLite
+        # upserts in place, so there is never anything to drop.
+        store = make_store(tmp_path, backend)
         result = self.run_with_store(store, netlists)
         store.extend(result.records)  # duplicate every key
-        assert store.compact() == 2
+        assert store.compact() == (2 if backend == "jsonl" else 0)
         assert len(store.load()) == 2
 
 

@@ -13,11 +13,21 @@ from repro.dse import (
     SweepSpec,
     SynthesisCache,
     evaluate_point,
+    open_store,
     record_from_dict,
     record_to_dict,
 )
 from repro.suite import load_circuit
 from repro.tech import MRAM, RERAM
+
+#: Both result-store backends; backend-neutral tests run against each.
+BACKENDS = ("jsonl", "sqlite")
+
+
+def make_store(tmp_path, backend, **kwargs):
+    return open_store(
+        tmp_path / f"results.{backend}", backend=backend, **kwargs
+    )
 
 
 def record_fingerprint(record):
@@ -257,27 +267,29 @@ class TestResultStore:
         rebuilt = record_from_dict(record_to_dict(record))
         assert rebuilt.point.technology is RERAM
 
-    def test_streaming_and_resume(self, tmp_path):
-        path = tmp_path / "results.jsonl"
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_streaming_and_resume(self, tmp_path, backend):
         small = SweepSpec(
             circuits=("s27",), policies=(3,), budget_scales=(0.5, 1.0),
             safe_zones=(True,),
         )
-        first = SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        first = SweepEngine(
+            workers=1, store=make_store(tmp_path, backend)
+        ).run(small)
         assert first.stats.n_evaluated == 2
-        assert len(path.read_text().splitlines()) == 2
+        assert make_store(tmp_path, backend).count() == 2
 
         grown = SweepSpec(
             circuits=("s27",), policies=(3,),
             budget_scales=(0.5, 1.0, 2.0), safe_zones=(True,),
         )
-        second = SweepEngine(workers=1, store=JsonlResultStore(path)).run(
-            grown, resume=True
-        )
+        second = SweepEngine(
+            workers=1, store=make_store(tmp_path, backend)
+        ).run(grown, resume=True)
         assert second.stats.n_resumed == 2
         assert second.stats.n_evaluated == 1
         assert len(second.records) == 3
-        assert len(path.read_text().splitlines()) == 3
+        assert make_store(tmp_path, backend).count() == 3
 
     def test_resume_tolerates_truncated_line(self, tmp_path, recwarn):
         path = tmp_path / "results.jsonl"
@@ -344,15 +356,17 @@ class TestResultStore:
         with pytest.warns(UserWarning, match="malformed"):
             assert len(store.load()) == 1
 
-    def test_parallel_streaming(self, tmp_path):
-        path = tmp_path / "results.jsonl"
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallel_streaming(self, tmp_path, backend):
         spec = SweepSpec(
             circuits=("s27",), policies=(2, 3), budget_scales=(1.0,),
             safe_zones=(True, False),
         )
-        result = SweepEngine(workers=2, store=JsonlResultStore(path)).run(spec)
+        result = SweepEngine(
+            workers=2, store=make_store(tmp_path, backend)
+        ).run(spec)
         assert len(result.records) == 4
-        on_disk = JsonlResultStore(path).load()
+        on_disk = make_store(tmp_path, backend).load()
         assert sorted(map(record_fingerprint, on_disk)) == sorted(
             map(record_fingerprint, result.records)
         )
