@@ -33,7 +33,8 @@ from repro.core.replacement import ReplacementCriteria, insert_nvm
 from repro.core.tree import TaskGraph
 from repro.core.tree_generator import build_task_graph
 from repro.energy.scenarios import ScenarioSpec
-from repro.evaluation import build_environment, evaluate_design
+from repro.evaluation import Environment, build_environment, evaluate_design
+from repro.sim.intermittent import ExecutionResult, SchemeProfile
 from repro.tech.nvm import MRAM, NvmTechnology
 from repro.tech.synthesis import SynthesisReport, synthesize
 
@@ -208,34 +209,41 @@ def _point_config(base: DiacConfig, point: DesignPoint) -> DiacConfig:
     )
 
 
-def evaluate_point(
+@dataclass(frozen=True)
+class PreparedPoint:
+    """The synthesis front half of one point evaluation, ready to run.
+
+    Everything :func:`evaluate_point` computes before dispatching the
+    intermittent executor: the synthesized design, the (possibly
+    threshold-scaled) environment, the single scheme profile the record
+    reads, and the macro-task work target.  Splitting here lets
+    :func:`repro.dse.batch.evaluate_jobs_batched` prepare many points,
+    execute all their runs in one vector kernel, and finish each record
+    with :func:`finish_point`.
+    """
+
+    point: DesignPoint
+    scenario: ScenarioSpec
+    design: DiacDesign
+    environment: Environment
+    profile: SchemeProfile
+    work_target_j: float
+
+
+def prepare_point(
     netlist: Netlist,
     point: DesignPoint,
     base_config: DiacConfig | None = None,
     cache: SynthesisCache | None = None,
     scenario: ScenarioSpec | None = None,
-) -> ExplorationRecord:
-    """Synthesize and execute one design point — side-effect-free.
+) -> PreparedPoint:
+    """Run the synthesis front half of :func:`evaluate_point`.
 
-    Neither ``netlist``, ``base_config`` nor any shared synthesizer state
-    is mutated; repeated calls with the same arguments return identical
-    records, which is what lets the sweep engine fan evaluations out over
-    worker processes and compare serial and parallel runs bit-for-bit.
-    Stochastic scenarios are seed-deterministic, so this holds across the
-    scenario axis too.
-
-    Args:
-        netlist: the design under exploration.
-        point: the configuration to evaluate.
-        base_config: defaults shared by all points of a sweep.
-        cache: optional synthesis-stage memo shared across points.
-        scenario: harvest environment to evaluate under (the paper's
-            Fig. 5 trace when omitted).  The scenario only changes the
-            evaluation environment, never the synthesized design, so all
-            scenarios of one policy share a cached synthesis stage.
-
-    Returns:
-        The :class:`ExplorationRecord` for ``(netlist, scenario, point)``.
+    Same contract (side-effect-free, cache-shared, seed-deterministic),
+    stopping just short of executing the macro task.  The returned
+    :class:`PreparedPoint` carries exactly what the executor dispatch
+    needs, so ``finish_point(prepare_point(...), result)`` with the
+    scalar executor's result reproduces :func:`evaluate_point` verbatim.
     """
     base = base_config or DiacConfig()
     scenario = scenario or ScenarioSpec()
@@ -297,18 +305,76 @@ def evaluate_point(
     # Simulate only the scheme this record reads — the four-scheme
     # comparison is the evaluation harness's job, not the sweep's.
     profile = profile_diac(design, optimized=point.use_safe_zone)
-    evaluation = evaluate_design(design, environment=env, profiles=[profile])
-    result = evaluation.results[profile.name]
-    return ExplorationRecord(
+    return PreparedPoint(
         point=point,
+        scenario=scenario,
+        design=design,
+        environment=env,
+        profile=profile,
+        work_target_j=env.n_passes * profile.pass_energy_j,
+    )
+
+
+def finish_point(
+    prepared: PreparedPoint, result: ExecutionResult
+) -> ExplorationRecord:
+    """Assemble the exploration record from an executed prepared point."""
+    return ExplorationRecord(
+        point=prepared.point,
         pdp_js=result.pdp_js,
         energy_j=result.total_energy_j,
         active_time_s=result.active_time_s,
         n_backups=result.n_backups,
         reexec_energy_j=result.reexec_energy_j,
-        n_barriers=design.plan.n_barriers,
-        circuit=netlist.name,
+        n_barriers=prepared.design.plan.n_barriers,
+        circuit=prepared.design.netlist.name,
+        scenario=prepared.scenario,
+    )
+
+
+def evaluate_point(
+    netlist: Netlist,
+    point: DesignPoint,
+    base_config: DiacConfig | None = None,
+    cache: SynthesisCache | None = None,
+    scenario: ScenarioSpec | None = None,
+) -> ExplorationRecord:
+    """Synthesize and execute one design point — side-effect-free.
+
+    Neither ``netlist``, ``base_config`` nor any shared synthesizer state
+    is mutated; repeated calls with the same arguments return identical
+    records, which is what lets the sweep engine fan evaluations out over
+    worker processes and compare serial and parallel runs bit-for-bit.
+    Stochastic scenarios are seed-deterministic, so this holds across the
+    scenario axis too.
+
+    Args:
+        netlist: the design under exploration.
+        point: the configuration to evaluate.
+        base_config: defaults shared by all points of a sweep.
+        cache: optional synthesis-stage memo shared across points.
+        scenario: harvest environment to evaluate under (the paper's
+            Fig. 5 trace when omitted).  The scenario only changes the
+            evaluation environment, never the synthesized design, so all
+            scenarios of one policy share a cached synthesis stage.
+
+    Returns:
+        The :class:`ExplorationRecord` for ``(netlist, scenario, point)``.
+    """
+    prepared = prepare_point(
+        netlist,
+        point,
+        base_config=base_config,
+        cache=cache,
         scenario=scenario,
+    )
+    evaluation = evaluate_design(
+        prepared.design,
+        environment=prepared.environment,
+        profiles=[prepared.profile],
+    )
+    return finish_point(
+        prepared, evaluation.results[prepared.profile.name]
     )
 
 

@@ -10,6 +10,7 @@ intermittent executor to replay partitions.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 
 from repro.circuits.gates import GateType, evaluate_gate
@@ -52,8 +53,33 @@ class LogicSimulator:
         self._cycles = 0
         self._last_values = {}
 
-    def load_state(self, snapshot: Mapping[str, int]) -> None:
-        """Restore flip-flop contents from ``snapshot`` (a backup image)."""
+    def load_state(
+        self, snapshot: Mapping[str, int], strict: bool = False
+    ) -> None:
+        """Restore flip-flop contents from ``snapshot`` (a backup image).
+
+        Snapshot keys that are not flip-flop nets of this netlist mean
+        the backup image is corrupted or belongs to a different design —
+        a partial restore with no signal used to be the failure mode, so
+        unknown nets now warn, or raise when ``strict`` is set.  Known
+        nets are restored either way; flip-flops absent from the
+        snapshot keep their current contents.
+
+        Raises:
+            SimulationError: ``strict`` and the snapshot holds unknown
+                nets.
+        """
+        unknown = [net for net in snapshot if net not in self.state]
+        if unknown:
+            message = (
+                f"snapshot holds {len(unknown)} net(s) that are not "
+                f"flip-flops of {self.netlist.name!r}: "
+                f"{', '.join(sorted(unknown)[:5])}"
+                f"{'...' if len(unknown) > 5 else ''}"
+            )
+            if strict:
+                raise SimulationError(message)
+            warnings.warn(message, stacklevel=2)
         for net in self.state:
             if net in snapshot:
                 self.state[net] = snapshot[net]
@@ -121,6 +147,11 @@ class LogicSimulator:
     def cycles(self) -> int:
         """Number of clock cycles simulated since the last reset."""
         return self._cycles
+
+    @property
+    def toggles(self) -> int:
+        """Total net toggles observed since the last reset (exact integer)."""
+        return self._toggles
 
     def activity_factor(self) -> float:
         """Observed average switching activity per net per cycle."""

@@ -1,0 +1,328 @@
+"""Property tests: the batched executor vs the scalar oracle.
+
+Every lane of a :func:`repro.dse.batch.run_batch` call must produce the
+*identical* :class:`~repro.sim.intermittent.ExecutionResult` (or the
+identical :class:`~repro.sim.intermittent.TraceTooWeakError` message)
+that a scalar :meth:`IntermittentExecutor.run` produces for the same
+(profile, environment, work target) — field for field, bit for bit.
+The pool of lanes deliberately mixes schemes, circuits and harvest
+scenarios (deterministic paper-fig5 and stochastic rf-markov, whose
+outages force mid-run power-failure/restore boundaries), and the tests
+drive every routing configuration: the full vector kernel, the
+forced-vector path with no straggler detach, tiny forced batches,
+single-lane degenerate batches, and the scalar fallback toggle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.baselines.schemes import all_profiles
+from repro.core.diac import DiacSynthesizer
+from repro.dse.batch import (
+    LaneSpec,
+    batch_kernel_disabled,
+    batch_routing_enabled,
+    run_batch,
+)
+from repro.energy.scenarios import ScenarioSpec
+from repro.evaluation import build_environment
+from repro.sim.intermittent import IntermittentExecutor, TraceTooWeakError
+from repro.suite.registry import load_circuit
+
+
+def scalar_outcome(spec: LaneSpec):
+    """The scalar oracle's result (or error) for one lane."""
+    executor = IntermittentExecutor(
+        spec.profile,
+        e_max_j=spec.e_max_j,
+        trace=spec.trace,
+        thresholds=spec.thresholds,
+        sleep_drain_w=spec.sleep_drain_w,
+    )
+    try:
+        return executor.run(
+            work_target_j=spec.work_target_j, max_cycles=spec.max_cycles
+        )
+    except TraceTooWeakError as error:
+        return error
+
+
+def assert_outcomes_equal(batched, scalar):
+    assert len(batched) == len(scalar)
+    for i, (b, s) in enumerate(zip(batched, scalar)):
+        if isinstance(s, TraceTooWeakError):
+            assert isinstance(b, TraceTooWeakError), f"lane {i}"
+            assert str(b) == str(s), f"lane {i}"
+        else:
+            assert b == s, f"lane {i}"
+
+
+def lanes_for(circuits, scenarios, work_scale=1.0):
+    """Mixed-scheme lane pool over circuits x scenarios."""
+    specs = []
+    for name in circuits:
+        design = DiacSynthesizer().run(load_circuit(name))
+        for scenario in scenarios:
+            env = build_environment(design, scenario)
+            for profile in all_profiles(design):
+                specs.append(
+                    LaneSpec(
+                        profile=profile,
+                        e_max_j=env.e_max_j,
+                        trace=env.trace,
+                        thresholds=env.thresholds,
+                        sleep_drain_w=env.sleep_drain_w,
+                        work_target_j=(
+                            work_scale * env.n_passes * profile.pass_energy_j
+                        ),
+                    )
+                )
+    return specs
+
+
+@pytest.fixture(scope="module")
+def lane_pool():
+    """16 lanes: 2 circuits x {paper-fig5, rf-markov} x 4 schemes."""
+    return lanes_for(
+        ["s27", "s298"],
+        [ScenarioSpec(), ScenarioSpec(name="rf-markov", seed=5)],
+    )
+
+
+@pytest.fixture(scope="module")
+def scalar_pool(lane_pool):
+    return [scalar_outcome(spec) for spec in lane_pool]
+
+
+class TestVectorKernel:
+    def test_field_for_field_equality(self, lane_pool, scalar_pool):
+        assert batch_routing_enabled()
+        assert_outcomes_equal(
+            run_batch(lane_pool, return_exceptions=True), scalar_pool
+        )
+
+    def test_pure_vector_no_straggler_detach(self, lane_pool, scalar_pool):
+        # tail_lanes=0 keeps every lane in the kernel to the very end —
+        # the straggler replica never runs, so this isolates the masked
+        # array path's bit-exactness.
+        assert_outcomes_equal(
+            run_batch(lane_pool, return_exceptions=True, tail_lanes=0),
+            scalar_pool,
+        )
+
+    def test_immediate_detach_everything(self, lane_pool, scalar_pool):
+        # A huge tail threshold hands all lanes to the pure-Python
+        # replica on the first kernel iteration.
+        assert_outcomes_equal(
+            run_batch(lane_pool, return_exceptions=True, tail_lanes=10_000),
+            scalar_pool,
+        )
+
+    def test_tiny_forced_vector_batches(self, lane_pool, scalar_pool):
+        for lo in range(0, len(lane_pool), 4):
+            specs = lane_pool[lo:lo + 4]
+            assert_outcomes_equal(
+                run_batch(
+                    specs, return_exceptions=True,
+                    min_vector_lanes=2, tail_lanes=0,
+                ),
+                scalar_pool[lo:lo + 4],
+            )
+
+    def test_mid_run_outages_actually_exercised(self, scalar_pool):
+        # The pool must contain lanes that die and restore mid-run,
+        # otherwise the equality above proves less than it claims.
+        results = [r for r in scalar_pool
+                   if not isinstance(r, TraceTooWeakError)]
+        assert any(r.n_restores > 0 for r in results)
+        assert any(r.n_backups > 0 for r in results)
+        assert any(r.n_safe_recoveries > 0 for r in results)
+
+
+class TestFallbacks:
+    def test_single_lane_degenerate(self, lane_pool, scalar_pool):
+        for spec, expected in zip(lane_pool[:4], scalar_pool[:4]):
+            assert_outcomes_equal(
+                run_batch([spec], return_exceptions=True), [expected]
+            )
+
+    def test_below_floor_uses_scalar_oracle(self, lane_pool, scalar_pool):
+        assert_outcomes_equal(
+            run_batch(lane_pool[:3], return_exceptions=True),
+            scalar_pool[:3],
+        )
+
+    def test_kernel_toggle_equivalence(self, lane_pool, scalar_pool):
+        with batch_kernel_disabled():
+            assert not batch_routing_enabled()
+            assert_outcomes_equal(
+                run_batch(lane_pool, return_exceptions=True), scalar_pool
+            )
+
+
+class TestFailureSemantics:
+    @pytest.fixture(scope="class")
+    def weak_pool(self):
+        """Lanes whose harvest is far too stingy to finish the task."""
+        return lanes_for(
+            ["s27"], [ScenarioSpec(scale=0.01)], work_scale=50.0
+        )
+
+    def test_weak_lanes_fail_like_scalar(self, weak_pool):
+        scalar = [scalar_outcome(spec) for spec in weak_pool]
+        assert any(isinstance(s, TraceTooWeakError) for s in scalar)
+        assert_outcomes_equal(
+            run_batch(
+                weak_pool, return_exceptions=True,
+                min_vector_lanes=2, tail_lanes=0,
+            ),
+            scalar,
+        )
+
+    def test_first_failing_lane_raises(self, weak_pool, lane_pool):
+        mixed = lane_pool[:8] + weak_pool + lane_pool[8:]
+        scalar = [scalar_outcome(spec) for spec in mixed]
+        first_error = next(
+            s for s in scalar if isinstance(s, TraceTooWeakError)
+        )
+        with pytest.raises(TraceTooWeakError) as caught:
+            run_batch(mixed, min_vector_lanes=2, tail_lanes=0)
+        assert str(caught.value) == str(first_error)
+
+    def test_mixed_success_and_failure_lanes(self, weak_pool, lane_pool):
+        mixed = []
+        for a, b in zip(lane_pool, weak_pool * 4):
+            mixed.extend([a, b])
+        scalar = [scalar_outcome(spec) for spec in mixed]
+        assert_outcomes_equal(
+            run_batch(
+                mixed, return_exceptions=True,
+                min_vector_lanes=2, tail_lanes=0,
+            ),
+            scalar,
+        )
+
+
+class TestWorkTargets:
+    @pytest.mark.parametrize("scale", [0.25, 3.0, 20.0])
+    def test_work_scaling(self, scale):
+        specs = lanes_for(
+            ["s27"],
+            [ScenarioSpec(), ScenarioSpec(name="rf-markov", seed=9)],
+            work_scale=scale,
+        )
+        scalar = [scalar_outcome(spec) for spec in specs]
+        assert_outcomes_equal(
+            run_batch(
+                specs, return_exceptions=True,
+                min_vector_lanes=2, tail_lanes=0,
+            ),
+            scalar,
+        )
+
+    def test_default_work_target(self):
+        # work_target_j=None must reproduce the paper-default macro task.
+        design = DiacSynthesizer().run(load_circuit("s27"))
+        env = build_environment(design)
+        specs = [
+            LaneSpec(
+                profile=profile,
+                e_max_j=env.e_max_j,
+                trace=env.trace,
+                thresholds=env.thresholds,
+                sleep_drain_w=env.sleep_drain_w,
+            )
+            for profile in all_profiles(design)
+        ]
+        scalar = [scalar_outcome(spec) for spec in specs]
+        assert_outcomes_equal(
+            run_batch(
+                specs, return_exceptions=True,
+                min_vector_lanes=2, tail_lanes=0,
+            ),
+            scalar,
+        )
+
+    def test_trivially_met_target(self):
+        design = DiacSynthesizer().run(load_circuit("s27"))
+        env = build_environment(design)
+        profile = all_profiles(design)[0]
+        spec = LaneSpec(
+            profile=profile,
+            e_max_j=env.e_max_j,
+            trace=env.trace,
+            thresholds=env.thresholds,
+            work_target_j=0.0,
+        )
+        scalar = [scalar_outcome(spec)] * 4
+        assert_outcomes_equal(
+            run_batch(
+                [spec] * 4, return_exceptions=True,
+                min_vector_lanes=2, tail_lanes=0,
+            ),
+            scalar,
+        )
+
+
+class TestEvaluationRouting:
+    def test_evaluate_point_recomposition(self):
+        from repro.dse.explorer import (
+            DesignPoint,
+            evaluate_point,
+            finish_point,
+            prepare_point,
+        )
+        from repro.evaluation import evaluate_design
+
+        from repro.tech.nvm import RERAM
+
+        netlist = load_circuit("s298")
+        point = DesignPoint(policy=2, technology=RERAM)
+        direct = evaluate_point(netlist, point)
+        prep = prepare_point(netlist, point)
+        evaluation = evaluate_design(
+            prep.design,
+            environment=prep.environment,
+            profiles=[prep.profile],
+        )
+        recomposed = finish_point(
+            prep, evaluation.results[prep.profile.name]
+        )
+        assert direct == recomposed
+
+    def test_evaluate_suite_toggle_equivalence(self):
+        from repro.evaluation import evaluate_suite
+
+        names = ["s27", "b02"]
+        batched = evaluate_suite(names)
+        with batch_kernel_disabled():
+            scalar = evaluate_suite(names)
+        for b, s in zip(batched, scalar):
+            assert b.name == s.name
+            assert b.results == s.results
+
+    def test_sweep_engine_toggle_equivalence(self):
+        from repro.dse.engine import SweepEngine, SweepSpec
+
+        spec = SweepSpec(
+            circuits=("s27",),
+            policies=(1, 2),
+            budget_scales=(1.0,),
+            scenarios=(
+                ScenarioSpec(),
+                ScenarioSpec(name="rf-markov", seed=3),
+            ),
+        )
+        batched = SweepEngine().run(spec)
+        with batch_kernel_disabled():
+            scalar = SweepEngine().run(spec)
+        kb = {r.key(): r for r in batched.records}
+        ks = {r.key(): r for r in scalar.records}
+        assert kb == ks
+        assert batched.failures == scalar.failures
+        assert (
+            batched.stats.synthesize_calls == scalar.stats.synthesize_calls
+        )

@@ -252,7 +252,10 @@ class TestSerialRecovery:
         def explode(*args, **kwargs):
             raise ArithmeticError("synthesizer bug")
 
-        monkeypatch.setattr("repro.dse.engine.evaluate_point", explode)
+        # prepare_point underlies both the per-task path (via
+        # evaluate_point) and the batched vector path, so patching it
+        # breaks point evaluation on whichever route the engine takes.
+        monkeypatch.setattr("repro.dse.explorer.prepare_point", explode)
         result = engine(1).run(RES_SPEC, netlists=netlists)
         assert result.stats.n_retries == 0
         assert result.stats.n_failed == 2
