@@ -91,11 +91,7 @@ def _fold_gate(gate: Gate, const_of: dict[str, int]) -> Gate | None:
             return const(cval) if cval is not None else wire(chosen)
         return None
 
-    if gtype in (GateType.AND, GateType.NAND):
-        controlling, inverted = 0, gtype is GateType.NAND
-    elif gtype in (GateType.OR, GateType.NOR):
-        controlling, inverted = 1, gtype is GateType.NOR
-    elif gtype in (GateType.XOR, GateType.XNOR):
+    if gtype in (GateType.XOR, GateType.XNOR):
         # XOR folds constants into a parity offset.
         parity = 1 if gtype is GateType.XNOR else 0
         remaining = []
@@ -113,6 +109,11 @@ def _fold_gate(gate: Gate, const_of: dict[str, int]) -> Gate | None:
             return wire(remaining[0], inverted=bool(parity))
         base = GateType.XNOR if parity else GateType.XOR
         return Gate(gate.name, base, tuple(remaining))
+
+    if gtype in (GateType.AND, GateType.NAND):
+        controlling, inverted = 0, gtype is GateType.NAND
+    elif gtype in (GateType.OR, GateType.NOR):
+        controlling, inverted = 1, gtype is GateType.NOR
     else:
         return None
 

@@ -15,7 +15,33 @@ from repro.circuits.netlist import Netlist
 
 
 class EquivalenceError(AssertionError):
-    """Raised when two supposedly equivalent netlists disagree."""
+    """Raised when two supposedly equivalent netlists disagree.
+
+    Beyond the message, a counterexample carries structured fields so
+    lint/CI tooling can report it without parsing text:
+
+    Attributes:
+        vector_index: index of the disagreeing stimulus vector (``None``
+            for interface mismatches, which have no counterexample).
+        cycle: clock cycle of the disagreement within that vector.
+        differing_outputs: output net -> ``(reference, candidate)``
+            value pairs, only for the outputs that differ.
+        inputs: the input assignment that exposed the disagreement.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        vector_index: int | None = None,
+        cycle: int | None = None,
+        differing_outputs: dict[str, tuple[int, int]] | None = None,
+        inputs: dict[str, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.vector_index = vector_index
+        self.cycle = cycle
+        self.differing_outputs = dict(differing_outputs or {})
+        self.inputs = dict(inputs or {})
 
 
 def random_vectors(
@@ -75,5 +101,9 @@ def check_equivalent(
                 raise EquivalenceError(
                     f"netlists {reference.name!r} vs {candidate.name!r} "
                     f"disagree on vector #{vec_no} cycle {cycle}: {diff} "
-                    f"under inputs {vector}"
+                    f"under inputs {vector}",
+                    vector_index=vec_no,
+                    cycle=cycle,
+                    differing_outputs=diff,
+                    inputs=vector,
                 )

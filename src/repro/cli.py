@@ -19,6 +19,10 @@ Usage (after ``pip install -e .``)::
         --store-backend sqlite                     # indexed SQLite store
     python -m repro store stats out.sqlite         # store summary
     python -m repro store migrate out.jsonl out.sqlite  # JSONL <-> SQLite
+    python -m repro sweep s27 --strategy halving --samples 24 \
+        --analysis-prune                           # static round 0
+    python -m repro lint                           # lint the full roster
+    python -m repro lint my.bench bad.json --deep  # netlists + configs
     python -m repro scenarios list                 # harvest environments
     python -m repro scenarios show rf-markov --seed 7
     python -m repro scenarios plot office-solar    # ASCII power profile
@@ -287,12 +291,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         resilience=_resilience_from_args(args, fault_plan),
     )
+    if args.analysis_prune and args.strategy not in ("grid", "halving"):
+        raise SystemExit(
+            "error: --analysis-prune applies to the grid sweep (engine "
+            "pruning) and the halving search (static round 0), not "
+            f"--strategy {args.strategy}"
+        )
     if args.strategy == "grid":
         # The full-factorial walk keeps its dedicated spec-order path.
-        result = engine.run(spec, netlists=netlists, resume=args.resume)
+        result = engine.run(
+            spec,
+            netlists=netlists,
+            resume=args.resume,
+            analysis_prune=args.analysis_prune,
+        )
     else:
         # Adaptive search over the space the spec's axes span: discrete
         # choices stay choices, scale axes become continuous ranges.
+        screener = None
+        if args.analysis_prune:
+            from repro.analysis import StaticScreener
+
+            screener = StaticScreener(
+                netlists=netlists, scenarios=spec.scenarios
+            )
         try:
             strategy = make_strategy(
                 args.strategy,
@@ -300,6 +322,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 samples=args.samples,
                 generations=args.generations,
                 seed=args.search_seed,
+                screener=screener,
             )
         except ValueError as error:
             raise SystemExit(f"error: {error}") from None
@@ -346,9 +369,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if result.failures:
         print("\nfailed points (skipped):", file=sys.stderr)
         for failure in result.failures:
+            marker = " [pruned]" if failure.kind == "pruned" else ""
             print(
-                f"  {failure.circuit}/{failure.scenario}/{failure.label}: "
-                f"{failure.error}",
+                f"  {failure.circuit}/{failure.scenario}/{failure.label}"
+                f"{marker}: {failure.error}",
                 file=sys.stderr,
             )
 
@@ -387,9 +411,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if stats.n_generations
         else ""
     )
+    pruned = f"{stats.n_pruned} pruned, " if stats.n_pruned else ""
     print(
         f"{search}{stats.n_points} points ({stats.n_resumed} resumed, "
-        f"{stats.n_failed} failed) in "
+        f"{pruned}{stats.n_failed} failed) in "
         f"{stats.wall_s:.2f} s with {stats.workers} worker(s); "
         f"{stats.synthesize_calls} synthesis runs over "
         f"{stats.n_batches} batches"
@@ -406,6 +431,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if recovery:
         print(f"recovery: {', '.join(recovery)}")
     return 1 if result.failures and not result.records else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.lint import (
+        ERROR,
+        LINT_RULES,
+        classify_netlist_error,
+        filter_findings,
+        lint_netlist,
+        lint_plan,
+        lint_thresholds,
+    )
+
+    if args.rules:
+        rows = [
+            [rule.rule_id, rule.severity, rule.summary]
+            for rule in LINT_RULES.values()
+        ]
+        print(format_table(["rule", "severity", "summary"], rows,
+                           title="lint rules"))
+        return 0
+
+    targets = args.targets or sorted(BY_NAME)
+    findings = []
+    for spec in targets:
+        path = Path(spec)
+        if path.suffix == ".json":
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError) as error:
+                raise SystemExit(f"error: {spec}: {error}") from None
+            if isinstance(payload, dict) and isinstance(
+                payload.get("thresholds"), dict
+            ):
+                payload = payload["thresholds"]
+            if not isinstance(payload, dict):
+                raise SystemExit(
+                    f"error: {spec}: expected a JSON object of "
+                    "threshold levels"
+                )
+            findings.extend(lint_thresholds(payload, source=spec))
+            continue
+        try:
+            netlist = _resolve_netlist(spec)
+        except SystemExit:
+            raise
+        except Exception as error:
+            findings.append(classify_netlist_error(error, source=spec))
+            continue
+        netlist_findings = lint_netlist(netlist)
+        findings.extend(netlist_findings)
+        if args.deep and not any(
+            f.severity == ERROR for f in netlist_findings
+        ):
+            from repro.analysis import prepare_static
+            from repro.dse.explorer import DesignPoint
+
+            point = DesignPoint(
+                policy=args.policy, budget_scale=args.budget_scale
+            )
+            try:
+                prepared = prepare_static(netlist, point)
+            except Exception as error:
+                print(
+                    f"{spec}: deep lint skipped ({error})", file=sys.stderr
+                )
+                continue
+            findings.extend(
+                lint_plan(
+                    prepared.design.plan,
+                    thresholds=prepared.environment.thresholds,
+                )
+            )
+            findings.extend(
+                lint_thresholds(
+                    prepared.environment.thresholds, source=spec
+                )
+            )
+
+    findings = filter_findings(
+        findings, select=args.select, ignore=args.ignore
+    )
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings_ = len(findings) - errors
+    print(
+        f"{len(targets)} target(s): {errors} error(s), "
+        f"{warnings_} warning(s)"
+    )
+    return 1 if errors else 0
 
 
 def _resolved_scenario(args: argparse.Namespace):
@@ -639,6 +757,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed of the search strategy (deterministic per seed)",
     )
     p_sweep.add_argument(
+        "--analysis-prune", action="store_true",
+        help="static interval analysis before simulating: grid sweeps "
+        "skip points proven infeasible (recorded as kind='pruned' "
+        "failures, never silently dropped); halving searches cut the "
+        "opening pool with a zero-cost static round 0",
+    )
+    p_sweep.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (1 = serial)",
     )
@@ -723,6 +848,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_plot.add_argument("--width", type=int, default=100)
     p_plot.add_argument("--height", type=int, default=16)
     p_plot.set_defaults(func=cmd_scenarios_plot)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static design checks: netlists, task graphs, thresholds",
+    )
+    p_lint.add_argument(
+        "targets", nargs="*",
+        help="roster names, .bench/.blif netlists, or .json threshold "
+        "configs (default: the full roster)",
+    )
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also synthesize each netlist and lint its NVM plan and "
+        "derived thresholds (slower)",
+    )
+    p_lint.add_argument(
+        "--policy", type=int, default=3, choices=(1, 2, 3),
+        help="tree-construction policy for --deep synthesis",
+    )
+    p_lint.add_argument(
+        "--budget-scale", type=float, default=1.0, metavar="SCALE",
+        help="per-burst budget scale for --deep synthesis",
+    )
+    p_lint.add_argument(
+        "--select", nargs="+", metavar="RULE",
+        help="only report rules matching these IDs/prefixes (e.g. N C001)",
+    )
+    p_lint.add_argument(
+        "--ignore", nargs="+", metavar="RULE",
+        help="suppress rules matching these IDs/prefixes",
+    )
+    p_lint.add_argument(
+        "--rules", action="store_true", help="list every rule and exit"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     sub.add_parser("fig4", help="render the Fig. 4 timeline").set_defaults(
         func=cmd_fig4

@@ -89,6 +89,11 @@ _TaskKey = tuple
 _Task = tuple[_TaskKey, str, ScenarioSpec, DesignPoint]
 
 
+#: Failure ``kind`` for points the static analysis proved infeasible
+#: and the engine therefore never simulated (``analysis_prune=True``).
+PRUNED = "pruned"
+
+
 def _task_key(
     circuit: str, scenario: ScenarioSpec, point: DesignPoint
 ) -> _TaskKey:
@@ -223,9 +228,11 @@ class SweepFailure:
             under another — e.g. a trace too weak for its thresholds).
         kind: failure taxonomy bucket — ``terminal`` (deterministic
             evaluation error, failed fast exactly once), ``transient``
-            (retryable error that exhausted its retry budget), or
+            (retryable error that exhausted its retry budget),
             ``unexpected`` (anything else; recorded instead of
-            destroying the sweep).
+            destroying the sweep), or ``pruned`` (the static analysis
+            proved the simulator would raise; never evaluated, 0
+            attempts).
         attempts: evaluation attempts this task consumed.
     """
 
@@ -257,6 +264,9 @@ class SweepStats:
         synthesize_calls: actual circuit characterizations performed.
         workers: process count used (1 == serial in-process).
         wall_s: wall-clock duration of the run.
+        n_pruned: points the static analysis proved infeasible and
+            skipped without simulating (``analysis_prune=True`` only;
+            each appears in ``failures`` with ``kind="pruned"``).
         n_retries: task re-evaluations scheduled after transient
             failures (each retry of one task counts once).
         n_timeouts: batches that overran their deadline and were
@@ -271,6 +281,7 @@ class SweepStats:
     n_evaluated: int = 0
     n_resumed: int = 0
     n_failed: int = 0
+    n_pruned: int = 0
     n_batches: int = 0
     n_generations: int = 0
     synthesize_calls: int = 0
@@ -1194,6 +1205,7 @@ class SweepEngine:
         spec: SweepSpec,
         netlists: dict[str, Netlist] | None = None,
         resume: bool = False,
+        analysis_prune: bool = False,
     ) -> SweepResult:
         """Execute a full-factorial sweep.
 
@@ -1201,6 +1213,15 @@ class SweepEngine:
             spec: the exploration space.
             netlists: circuit name -> netlist mapping; roster names are
                 loaded automatically when omitted.
+            analysis_prune: statically analyse every pending point
+                first (:func:`repro.analysis.assess_point`) and skip
+                those proven ``INFEASIBLE`` — the simulator would
+                provably raise on them.  Pruned points are never
+                silently dropped: each becomes a ``kind="pruned"``
+                entry in ``failures`` (0 attempts) and is counted by
+                ``stats.n_pruned``.  Every record the run does produce
+                is bit-identical to a clean sweep's, because only
+                points the simulator cannot finish are pruned.
             resume: skip points already present in the result store,
                 found via the store's indexed ``keys()`` (the full
                 record set is never loaded).  Resume keys cover the
@@ -1250,6 +1271,11 @@ class SweepEngine:
         pending = [task for task in tasks if task[0] not in resumed]
         stats.n_resumed = len(tasks) - len(pending)
 
+        pruned: dict[_TaskKey, SweepFailure] = {}
+        if analysis_prune:
+            pending, pruned = self._prune_tasks(pending, netlists)
+            stats.n_pruned = len(pruned)
+
         aggregate = SweepAggregator()
         self._aggregate = aggregate
         self._aggregate_keys = None
@@ -1274,9 +1300,49 @@ class SweepEngine:
         return SweepResult(
             records=ordered,
             stats=stats,
-            failures=list(failures.values()),
+            failures=list(pruned.values()) + list(failures.values()),
             aggregate=aggregate,
         )
+
+    def _prune_tasks(
+        self,
+        pending: list[_Task],
+        netlists: dict[str, Netlist],
+    ) -> tuple[list[_Task], dict[_TaskKey, SweepFailure]]:
+        """Split pending tasks into (simulate, provably-infeasible).
+
+        Uses only the ``INFEASIBLE`` verdict — ``DOMINATED`` points can
+        still run, and pruning them would break record parity with a
+        clean sweep.  Analysis errors downgrade to ``UNKNOWN`` inside
+        :func:`~repro.analysis.assess_point`, so a point that cannot
+        even be analysed still flows through the simulation path and
+        fails with its canonical error.
+        """
+        from repro.analysis.feasibility import Verdict, assess_point
+
+        caches: dict[str, SynthesisCache] = {}
+        remaining: list[_Task] = []
+        pruned: dict[_TaskKey, SweepFailure] = {}
+        for key, circuit, scenario, point in pending:
+            report = assess_point(
+                netlists[circuit],
+                point,
+                base_config=self.base_config,
+                cache=caches.setdefault(circuit, SynthesisCache()),
+                scenario=scenario,
+            )
+            if report.verdict is Verdict.INFEASIBLE:
+                pruned[key] = SweepFailure(
+                    circuit=circuit,
+                    label=point.label(),
+                    error=report.reason,
+                    scenario=scenario.label(),
+                    kind=PRUNED,
+                    attempts=0,
+                )
+            else:
+                remaining.append((key, circuit, scenario, point))
+        return remaining, pruned
 
     def run_search(
         self,

@@ -31,6 +31,7 @@ semantics.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -261,8 +262,6 @@ class PoolSupervisor:
         # getattr — losing the terminate only leaks a sleeping process.
         processes = getattr(pool, "_processes", None) or {}
         for process in list(processes.values()):
-            try:
+            with contextlib.suppress(Exception):  # pragma: no cover
                 process.terminate()
-            except Exception:  # pragma: no cover - best-effort cleanup
-                pass
         pool.shutdown(wait=False, cancel_futures=True)

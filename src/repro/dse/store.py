@@ -40,6 +40,7 @@ JSONL durability guarantees (see ``docs/robustness.md``):
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -573,13 +574,12 @@ def detect_backend(path: str | Path) -> str:
     """
     path = Path(path)
     if path.is_file():
-        try:
+        # Unreadable files fall through to the extension heuristic.
+        with contextlib.suppress(OSError):  # pragma: no cover
             with path.open("rb") as handle:
                 if handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC:
                     return "sqlite"
                 return "jsonl"
-        except OSError:  # pragma: no cover - unreadable file
-            pass
     return "sqlite" if path.suffix in SQLITE_SUFFIXES else "jsonl"
 
 

@@ -326,6 +326,19 @@ class SearchStrategy(Protocol):
         ...  # pragma: no cover
 
 
+class PoolScreener(Protocol):
+    """A zero-simulation filter over a sampled candidate pool.
+
+    Implemented by :class:`repro.analysis.StaticScreener`; defined
+    structurally here so the strategy layer stays import-free of the
+    analysis package.
+    """
+
+    def screen(self, points: list[DesignPoint]) -> list[DesignPoint]:
+        """The kept candidates (possibly reordered, never grown)."""
+        ...  # pragma: no cover
+
+
 def _score_outcomes(outcomes: list[EvalOutcome]) -> list[float]:
     """Mean normalized PDP per outcome — lower is better, ``inf`` = failed.
 
@@ -471,6 +484,12 @@ class SuccessiveHalvingStrategy:
     records still stream to the store under their scaled scenario keys,
     so a resumed search skips the screening it already paid for.
 
+    With a ``screener`` (static round 0), the opening pool is first
+    cut by interval analysis *before any simulation*: provably
+    infeasible and bound-dominated samples never reach the screening
+    round, so the search spends strictly fewer simulated evaluations
+    for the same sampled pool.
+
     Args:
         space: the space to search.
         pool: size of the opening candidate pool.
@@ -478,6 +497,10 @@ class SuccessiveHalvingStrategy:
         rounds: total rounds including the full-fidelity final.
         screen_scale: power multiplier of the cheapest (first) round.
         seed: RNG seed for the opening pool.
+        screener: optional zero-cost static screen applied to the
+            sampled pool (anything with a
+            ``screen(list[DesignPoint]) -> list[DesignPoint]`` method,
+            e.g. :class:`repro.analysis.StaticScreener`).
     """
 
     def __init__(
@@ -488,6 +511,7 @@ class SuccessiveHalvingStrategy:
         rounds: int = 2,
         screen_scale: float = 1.5,
         seed: int = 0,
+        screener: "PoolScreener | None" = None,
     ) -> None:
         if pool < 2:
             raise ValueError("pool must be >= 2")
@@ -503,6 +527,7 @@ class SuccessiveHalvingStrategy:
         self.promote = promote
         self.rounds = rounds
         self.screen_scale = screen_scale
+        self.screener = screener
         self._rng = random.Random(seed)
         self._round = 0
         self._candidates: list[DesignPoint] = []
@@ -519,6 +544,8 @@ class SuccessiveHalvingStrategy:
             self._candidates = [
                 self.space.sample(self._rng) for _ in range(self.pool)
             ]
+            if self.screener is not None:
+                self._candidates = self.screener.screen(self._candidates)
         scale = self._fidelity(self._round)
         return [
             Proposal(point, scenario_scale=scale)
@@ -643,6 +670,7 @@ def make_strategy(
     samples: int = 24,
     generations: int = 4,
     seed: int = 0,
+    screener: PoolScreener | None = None,
 ) -> SearchStrategy:
     """Build a named strategy with sensible knob mapping.
 
@@ -650,6 +678,8 @@ def make_strategy(
     count, halving pool, evolution population); ``generations`` the
     number of adaptive rounds (halving rounds, evolution generations —
     ignored by grid/random, which are single-generation).
+    ``screener`` (the static round 0) is only meaningful for
+    ``halving`` and is ignored by the other strategies.
 
     Raises:
         ValueError: for an unknown strategy name, or knob values the
@@ -673,7 +703,8 @@ def make_strategy(
                 f"plus the full-fidelity final), got {generations}"
             )
         return SuccessiveHalvingStrategy(
-            space, pool=samples, rounds=generations, seed=seed
+            space, pool=samples, rounds=generations, seed=seed,
+            screener=screener,
         )
     if name == "evolution":
         return ParetoEvolutionStrategy(

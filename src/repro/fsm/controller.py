@@ -290,11 +290,11 @@ class IntermittentController:
                 self.storage.drain(self.sleep_leakage_w * dt)
                 e = self.storage.energy_j
                 # Safe-zone bookkeeping (Fig. 4 event 5).
-                if self._was_active_before_dip and th.backup_j <= e < th.safe_j:
-                    if not in_safe_dip:
-                        in_safe_dip = True
-                        counters["safe_zone_entries"] += 1
-                        events.append(FsmEvent(t, "safe_zone", "entered"))
+                if (self._was_active_before_dip and not in_safe_dip
+                        and th.backup_j <= e < th.safe_j):
+                    in_safe_dip = True
+                    counters["safe_zone_entries"] += 1
+                    events.append(FsmEvent(t, "safe_zone", "entered"))
                 if not self.safe_zone_enabled and in_safe_dip:
                     # Plain DIAC: no safe zone — back up immediately.
                     self._do_backup(t, counters, events)

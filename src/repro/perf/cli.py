@@ -133,7 +133,7 @@ def register_perf_parser(sub: argparse._SubParsersAction) -> None:
         help="CI-sized workloads only (full runs include them too)",
     )
     p_run.add_argument(
-        "--out", default="BENCH_7.json", metavar="FILE",
+        "--out", default="BENCH_8.json", metavar="FILE",
         help="report destination (default: %(default)s)",
     )
     p_run.add_argument(

@@ -16,6 +16,12 @@ prepared outside the timed section:
 * ``sweep-resilience`` — the same serial workload with the fault
   recovery layer enabled versus disabled (A/B interleaved), reporting
   the measured ``overhead_vs_disabled`` ratio;
+* ``static-analysis`` — the :mod:`repro.analysis` subsystem: interval
+  bound computation rate, the measured speedup (and deterministic
+  prune fraction) of an ``analysis_prune`` sweep over a grid with a
+  provably-infeasible scenario, and the screened-halving acceptance
+  counters (grid-front hypervolume ratio on strictly fewer simulated
+  evaluations);
 * ``store-backends`` — result-store throughput A/B: the same
   append/extend/keys/group-query/load workload against the SQLite
   backend (timed) and the JSONL backend (baseline), reporting the
@@ -354,6 +360,142 @@ def _sweep_warm(repeats: int) -> SuiteResult:
             "points": len(records),
             "cached_stages": len(explorer.cache),
             "synthesize_calls": explorer.cache.synthesize_calls,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# static-analysis — interval bounds, analysis pruning, screened halving
+# ---------------------------------------------------------------------------
+
+#: Harvest scale under which every point of the prune workload is
+#: provably infeasible — the interval analysis proves it from the power
+#: envelope alone, so ``analysis_prune`` skips the whole scenario
+#: without simulating (the plain engine simulates every point to its
+#: TraceTooWeakError).
+PRUNE_WEAK_SCALE = 0.002
+
+
+def _static_analysis(repeats: int) -> SuiteResult:
+    """The static-analysis subsystem's three acceptance numbers.
+
+    * **Timed section** — :func:`repro.analysis.bounds_for_point` over
+      every (point, scenario) of the s298 sweep spec with a warm
+      synthesis cache: the pure interval-computation hot path, reported
+      as ``bounds_per_s``.
+    * **Pruning A/B** — the same grid extended with a provably-weak
+      scenario, swept with ``analysis_prune=True`` against the plain
+      engine (interleaved so load drift cancels).  The pruned run must
+      skip every infeasible task; ``prune_speedup_vs_plain`` is the
+      measured payoff and ``prune_fraction`` the deterministic share of
+      tasks never simulated.
+    * **Screened halving** — SuccessiveHalvingStrategy with the
+      :class:`~repro.analysis.StaticScreener` static round 0 against
+      the plain strategy and the full grid.  The acceptance bar (see
+      docs/analysis.md): ``hv_screened_vs_grid >= 0.9`` on strictly
+      fewer simulated evaluations than either alternative.
+    """
+    from dataclasses import replace
+
+    from repro.analysis import StaticScreener, bounds_for_point
+    from repro.dse import SweepEngine
+    from repro.dse.explorer import SynthesisCache
+    from repro.dse.pareto import hypervolume_2d
+    from repro.dse.strategies import DesignSpace, SuccessiveHalvingStrategy
+    from repro.energy.scenarios import ScenarioSpec
+    from repro.perf.timing import time_paired
+    from repro.suite import load_circuit
+
+    netlist = load_circuit(SWEEP_CIRCUIT)
+    netlists = {SWEEP_CIRCUIT: netlist}
+    spec = _sweep_spec()
+    tasks = [(scenario, point) for _circuit, scenario, point in spec.points()]
+    cache = SynthesisCache()
+
+    def compute_bounds():
+        return [
+            bounds_for_point(netlist, point, cache=cache, scenario=scenario)
+            for scenario, point in tasks
+        ]
+
+    timing, bounds = time_call(compute_bounds, repeats=repeats)
+
+    # Pruning A/B: the weak scenario's tasks are all provably
+    # infeasible, the default scenario's all complete — the pruned run
+    # simulates exactly half the grid.
+    weak_spec = replace(
+        spec,
+        scenarios=(ScenarioSpec(scale=PRUNE_WEAK_SCALE), ScenarioSpec()),
+    )
+
+    def run_pruned():
+        return SweepEngine(workers=1).run(
+            weak_spec, netlists=netlists, analysis_prune=True
+        )
+
+    def run_plain():
+        return SweepEngine(workers=1).run(weak_spec, netlists=netlists)
+
+    prune_timing, plain_timing, pruned = time_paired(
+        run_pruned, run_plain, repeats=repeats
+    )
+
+    # Screened halving vs the grid front.  The pruned run's records are
+    # exactly the default-scenario grid (the weak scenario contributes
+    # none), so they double as the grid-front reference.
+    space = DesignSpace.from_spec(spec)
+
+    def run_halving(screener=None):
+        strategy = SuccessiveHalvingStrategy(
+            space, pool=16, rounds=2, seed=0, screener=screener
+        )
+        return SweepEngine(workers=1).run_search(
+            strategy, circuits=(SWEEP_CIRCUIT,), netlists=netlists
+        )
+
+    halving = run_halving()
+    screened = run_halving(
+        StaticScreener(netlists=netlists, scenarios=spec.scenarios)
+    )
+
+    records = (
+        list(pruned.records) + list(halving.records) + list(screened.records)
+    )
+    reference = (
+        1.05 * max(r.pdp_js for r in records),
+        1.05 * max(r.reexec_energy_j for r in records),
+    )
+
+    def hv(result) -> float:
+        return hypervolume_2d(
+            [(r.pdp_js, r.reexec_energy_j) for r in result.records], reference
+        )
+
+    hv_grid = hv(pruned)
+    return SuiteResult(
+        name="static-analysis",
+        timing=timing,
+        rates={
+            "bounds_per_s": len(bounds) / timing.wall_s,
+            "pruned_sweep_wall_s": prune_timing.wall_s,
+            "plain_sweep_wall_s": plain_timing.wall_s,
+            "prune_speedup_vs_plain": plain_timing.wall_s
+            / prune_timing.wall_s,
+        },
+        counters={
+            "circuit": SWEEP_CIRCUIT,
+            "bounds": len(bounds),
+            "prune_points": pruned.stats.n_points,
+            "pruned": pruned.stats.n_pruned,
+            "prune_fraction": round(
+                pruned.stats.n_pruned / pruned.stats.n_points, 6
+            ),
+            "prune_evaluated": pruned.stats.n_evaluated,
+            "grid_evaluations": len(pruned.records),
+            "halving_evaluations": halving.stats.n_evaluated,
+            "screened_evaluations": screened.stats.n_evaluated,
+            "hv_halving_vs_grid": round(hv(halving) / hv_grid, 4),
+            "hv_screened_vs_grid": round(hv(screened) / hv_grid, 4),
         },
     )
 
@@ -718,6 +860,7 @@ SUITES: tuple[SuiteSpec, ...] = (
     SuiteSpec("sweep-resilience", _sweep_resilience),
     SuiteSpec("sweep-warm", _sweep_warm),
     SuiteSpec("sweep-parallel", _sweep_parallel),
+    SuiteSpec("static-analysis", _static_analysis),
     SuiteSpec("store-backends", _store_backends),
     SuiteSpec("suite-eval-quick", _suite_eval_quick),
     SuiteSpec("suite-eval-full", _suite_eval_full, in_quick=False),
