@@ -21,6 +21,7 @@ from repro.dse import (
     RandomStrategy,
     SuccessiveHalvingStrategy,
     SweepEngine,
+    SweepRequest,
     SweepSpec,
     hypervolume_2d,
 )
@@ -49,7 +50,7 @@ def test_strategies_match_grid_front_on_half_the_budget():
     """Random / LHS / halving vs the 54-point full grid."""
     engine = SweepEngine(workers=1)
     start = time.perf_counter()
-    grid = engine.run(REFERENCE_SPEC)
+    grid = engine.submit(SweepRequest(spec=REFERENCE_SPEC))
     grid_s = time.perf_counter() - start
     assert grid.stats.n_evaluated == len(REFERENCE_SPEC) == 54
 
@@ -66,7 +67,9 @@ def test_strategies_match_grid_front_on_half_the_budget():
             space, pool=20, promote=0.3, rounds=2, seed=0)),
     ):
         start = time.perf_counter()
-        result = engine.run_search(strategy)
+        result = engine.submit(
+            SweepRequest(spec=REFERENCE_SPEC, strategy=strategy)
+        )
         runs[name] = (result, time.perf_counter() - start)
 
     # One shared reference corner, from the union of every run, keeps

@@ -19,6 +19,7 @@ import time
 
 from repro.dse import (
     SweepEngine,
+    SweepRequest,
     SweepSpec,
     SynthesisCache,
     evaluate_point,
@@ -47,11 +48,11 @@ def test_sweep_engine_parallel_vs_serial():
     assert len(SPEC) == 36
 
     start = time.perf_counter()
-    serial = SweepEngine(workers=1).run(SPEC)
+    serial = SweepEngine(workers=1).submit(SweepRequest(spec=SPEC))
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    parallel = SweepEngine(workers=WORKERS).run(SPEC)
+    parallel = SweepEngine(workers=WORKERS).submit(SweepRequest(spec=SPEC))
     parallel_s = time.perf_counter() - start
 
     assert fingerprint(parallel.records) == fingerprint(serial.records)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.dse import SweepEngine, SweepSpec
+from repro.api import SweepEngine, SweepRequest, SweepSpec
 from repro.energy import ScenarioSpec
 from repro.metrics import format_robustness, robustness_report
 from repro.tech import MRAM, RERAM
@@ -43,7 +43,7 @@ def main() -> None:
         ),
     )
     print(f"sweeping {len(spec)} (point, scenario) evaluations on {name}\n")
-    result = SweepEngine(workers=1).run(spec)
+    result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
 
     for (label, circuit), front in result.fronts_by_scenario().items():
         print(f"[{label} · {circuit}] pareto front:")

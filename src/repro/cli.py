@@ -21,6 +21,13 @@ Usage (after ``pip install -e .``)::
     python -m repro store migrate out.jsonl out.sqlite  # JSONL <-> SQLite
     python -m repro sweep s27 --strategy halving --samples 24 \
         --analysis-prune                           # static round 0
+    python -m repro sweep --config sweep.toml s27  # flags > file > defaults
+    python -m repro sweep b10 --dump-config        # print merged TOML
+    python -m repro coordinator s27 --results svc.sqlite \
+        --spawn-workers 4                          # distributed sweep
+    python -m repro worker --queue svc.sqlite \
+        --results svc.sqlite                       # extra worker, any host
+    python -m repro view svc.sqlite --port 8750    # read-only HTTP view
     python -m repro lint                           # lint the full roster
     python -m repro lint my.bench bad.json --deep  # netlists + configs
     python -m repro scenarios list                 # harvest environments
@@ -41,6 +48,7 @@ optionally seeded/scaled as ``name[@seed[@scale]]``, or paths to measured
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -136,60 +144,77 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_criteria(specs: list[str]):
-    """Parse ``level,power,fanio`` weight triples into criteria objects."""
-    from repro.core.replacement import ReplacementCriteria
-
-    criteria = []
-    for spec in specs:
-        parts = spec.split(",")
-        if len(parts) != 3:
-            raise SystemExit(
-                f"error: criteria spec {spec!r} must be three "
-                "comma-separated weights, e.g. 1,1,1"
-            )
-        try:
-            level, power, fanio = (float(p) for p in parts)
-        except ValueError:
-            raise SystemExit(
-                f"error: criteria spec {spec!r} has non-numeric weights"
-            ) from None
-        criteria.append(
-            ReplacementCriteria(
-                level_weight=level, power_weight=power, fanio_weight=fanio
-            )
-        )
-    return tuple(criteria)
-
-
 def _scenario_exit(error: Exception) -> SystemExit:
     """A scenario lookup/parse error as a clean CLI exit."""
     message = error.args[0] if error.args else error
     return SystemExit(f"error: {message}")
 
 
-def _parse_scenarios(specs: list[str]):
-    """Parse and validate ``name[@seed[@scale]]`` scenario specs.
+#: ``(argparse dest, config section, config key)`` for every sweep
+#: option that participates in the config-file merge.  Explicit CLI
+#: values beat ``--config`` file values beat the defaults of
+#: :data:`repro.dse.request.CONFIG_DEFAULTS` — which is why every
+#: grouped flag below parses with ``default=None``: "not given" must
+#: stay distinguishable from any real value.
+_ARG_TO_CONFIG = (
+    ("circuits", "space", "circuits"),
+    ("policies", "space", "policies"),
+    ("budget_scales", "space", "budget_scales"),
+    ("nvm", "space", "technologies"),
+    ("criteria", "space", "criteria"),
+    ("safe_zone", "space", "safe_zone"),
+    ("threshold_scales", "space", "threshold_scales"),
+    ("safe_margin_scales", "space", "safe_margin_scales"),
+    ("scenario", "scenarios", "scenarios"),
+    ("strategy", "search", "strategy"),
+    ("samples", "search", "samples"),
+    ("generations", "search", "generations"),
+    ("search_seed", "search", "seed"),
+    ("analysis_prune", "analysis", "prune"),
+    ("workers", "execution", "workers"),
+    ("max_attempts", "execution", "max_attempts"),
+    ("batch_timeout", "execution", "batch_timeout"),
+    ("results", "store", "results"),
+    ("store_backend", "store", "backend"),
+    ("fsync_every", "store", "fsync_every"),
+    ("resume", "store", "resume"),
+)
 
-    The raw text is tried as a scenario name first, so a power-log path
-    containing ``@`` (``logs/site@3.csv``) resolves as a file instead of
-    being split into spec components.
-    """
-    from repro.energy.scenarios import ScenarioSpec, resolve_scenario
 
-    scenarios = []
-    for text in specs:
-        try:
-            try:
-                resolve_scenario(text)
-                spec = ScenarioSpec(name=text)
-            except KeyError:
-                spec = ScenarioSpec.parse(text)
-                resolve_scenario(spec.name)  # fail fast on unknown names
-        except (ValueError, KeyError) as error:
-            raise _scenario_exit(error) from None
-        scenarios.append(spec)
-    return tuple(scenarios)
+def _overrides_from_args(args: argparse.Namespace) -> dict:
+    """The explicitly-given sweep flags, as nested config sections."""
+    overrides: dict = {}
+    for attr, section, key in _ARG_TO_CONFIG:
+        value = getattr(args, attr, None)
+        if value is None:
+            continue
+        if attr == "circuits" and not value:
+            continue  # empty positional: let the config file name them
+        overrides.setdefault(section, {})[key] = value
+    return overrides
+
+
+def _merged_sweep_config(args: argparse.Namespace) -> dict:
+    """Layer CLI flags over ``--config`` (if any) over the defaults."""
+    from repro.dse.request import load_config_file, merge_config
+
+    try:
+        file_config = (
+            load_config_file(args.config) if args.config else {}
+        )
+        return merge_config(file_config, _overrides_from_args(args))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _request_from_merged(merged: dict):
+    """The :class:`~repro.dse.request.SweepRequest` a config describes."""
+    from repro.dse.request import request_from_config
+
+    try:
+        return request_from_config(merged)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
 
 
 def _parse_fault_plan(args: argparse.Namespace):
@@ -217,127 +242,81 @@ def _parse_fault_plan(args: argparse.Namespace):
     return plan
 
 
-def _resilience_from_args(args: argparse.Namespace, fault_plan):
+def _resilience_config(max_attempts: int, batch_timeout, fault_plan):
     from repro.dse import ResilienceConfig, RetryPolicy
 
     try:
         return ResilienceConfig(
-            retry=RetryPolicy(max_attempts=args.max_attempts),
-            batch_timeout_s=args.batch_timeout,
+            retry=RetryPolicy(max_attempts=max_attempts),
+            batch_timeout_s=batch_timeout,
             fault_plan=fault_plan,
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
+
+
+def _validate_sweep_config(merged: dict) -> None:
+    """Residual checks whose messages name the flags users typed."""
+    execution, store_cfg = merged["execution"], merged["store"]
+    if execution["workers"] < 1:
+        raise SystemExit("error: --workers must be >= 1")
+    if store_cfg["resume"] and not store_cfg["results"]:
+        raise SystemExit("error: --resume requires --results")
+    if merged["search"]["samples"] < 1:
+        raise SystemExit("error: --samples must be >= 1")
+    if merged["search"]["generations"] < 1:
+        raise SystemExit("error: --generations must be >= 1")
+    if store_cfg["fsync_every"] < 0:
+        raise SystemExit("error: --fsync-every must be >= 0")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.dse import (
-        DesignSpace,
-        SweepEngine,
-        SweepSpec,
-        make_strategy,
-        open_store,
-    )
-    from repro.metrics import format_robustness
+    from repro.dse import SweepEngine, open_store
+    from repro.dse.request import dump_config
 
-    if args.workers < 1:
-        raise SystemExit("error: --workers must be >= 1")
-    if args.resume and not args.results:
-        raise SystemExit("error: --resume requires --results")
-    if args.samples < 1:
-        raise SystemExit("error: --samples must be >= 1")
-    if args.generations < 1:
-        raise SystemExit("error: --generations must be >= 1")
-    if args.fsync_every < 0:
-        raise SystemExit("error: --fsync-every must be >= 0")
-    netlists = {spec: _resolve_netlist(spec) for spec in args.circuits}
-    safe_zones = {
-        "both": (True, False), "on": (True,), "off": (False,),
-    }[args.safe_zone]
-    try:
-        technologies = tuple(get_technology(n) for n in args.nvm)
-    except KeyError as error:
-        raise SystemExit(f"error: {error.args[0]}") from None
-    try:
-        spec = SweepSpec(
-            circuits=tuple(args.circuits),
-            policies=tuple(args.policies),
-            budget_scales=tuple(args.budget_scales),
-            technologies=technologies,
-            criteria_sets=_parse_criteria(args.criteria),
-            safe_zones=safe_zones,
-            threshold_scales=tuple(args.threshold_scales),
-            safe_margin_scales=(
-                tuple(args.safe_margin_scales) if args.safe_margin_scales
-                else (None,)
-            ),
-            scenarios=_parse_scenarios(args.scenario),
-        )
-    except ValueError as error:
-        raise SystemExit(f"error: {error}") from None
+    merged = _merged_sweep_config(args)
+    if args.dump_config:
+        print(dump_config(merged), end="")
+        return 0
+    _validate_sweep_config(merged)
+    request = _request_from_merged(merged)
+    execution, store_cfg = merged["execution"], merged["store"]
+    netlists = {
+        name: _resolve_netlist(name) for name in request.spec.circuits
+    }
     fault_plan = _parse_fault_plan(args)
     store = (
         open_store(
-            args.results,
-            backend=args.store_backend,
-            fsync_every=args.fsync_every,
+            store_cfg["results"],
+            backend=store_cfg["backend"],
+            fsync_every=store_cfg["fsync_every"],
             fault_plan=fault_plan,
         )
-        if args.results
+        if store_cfg["results"]
         else None
     )
     engine = SweepEngine(
-        workers=args.workers,
+        workers=execution["workers"],
         store=store,
-        resilience=_resilience_from_args(args, fault_plan),
+        resilience=_resilience_config(
+            execution["max_attempts"],
+            execution["batch_timeout"],
+            fault_plan,
+        ),
     )
-    if args.analysis_prune and args.strategy not in ("grid", "halving"):
-        raise SystemExit(
-            "error: --analysis-prune applies to the grid sweep (engine "
-            "pruning) and the halving search (static round 0), not "
-            f"--strategy {args.strategy}"
-        )
-    if args.strategy == "grid":
-        # The full-factorial walk keeps its dedicated spec-order path.
-        result = engine.run(
-            spec,
-            netlists=netlists,
-            resume=args.resume,
-            analysis_prune=args.analysis_prune,
-        )
-    else:
-        # Adaptive search over the space the spec's axes span: discrete
-        # choices stay choices, scale axes become continuous ranges.
-        screener = None
-        if args.analysis_prune:
-            from repro.analysis import StaticScreener
+    try:
+        result = engine.submit(request, netlists=netlists)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    return _report_sweep(result, request, args.robustness_top)
 
-            screener = StaticScreener(
-                netlists=netlists, scenarios=spec.scenarios
-            )
-        try:
-            strategy = make_strategy(
-                args.strategy,
-                DesignSpace.from_spec(spec),
-                samples=args.samples,
-                generations=args.generations,
-                seed=args.search_seed,
-                screener=screener,
-            )
-        except ValueError as error:
-            raise SystemExit(f"error: {error}") from None
-        result = engine.run_search(
-            strategy,
-            circuits=spec.circuits,
-            scenarios=spec.scenarios,
-            netlists=netlists,
-            resume=args.resume,
-            # Strategies self-terminate; the backstop only guards
-            # against a runaway ask loop, so it must never truncate the
-            # rounds the user explicitly asked for.
-            max_generations=max(64, args.generations),
-        )
 
+def _report_sweep(result, request, robustness_top: int) -> int:
+    """Render one sweep result; shared by ``sweep`` and ``coordinator``."""
+    from repro.metrics import format_robustness
+
+    spec = request.spec
+    strategy_name = request.strategy_name or "custom"
     # Distinct environments, not raw spec count: equivalent specs
     # (e.g. 'rf-markov@7' and 'rf-markov@7x1.0') dedupe to one scenario,
     # and a one-environment "robustness" table would be meaningless.
@@ -354,7 +333,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
         for r in sorted(result.records, key=lambda r: r.pdp_js)
     ]
-    title = f"{', '.join(args.circuits)}: design-space sweep"
+    title = f"{', '.join(spec.circuits)}: design-space sweep"
     print(
         format_table(
             ["circuit",
@@ -398,7 +377,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if multi_scenario and result.records:
         entries = result.robustness()
         print()
-        print(format_robustness(entries, limit=args.robustness_top))
+        print(format_robustness(entries, limit=robustness_top))
         top = entries[0]
         print(
             f"\nrobust best: {top.circuit}/{top.label}  "
@@ -407,7 +386,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     stats = result.stats
     search = (
-        f"{args.strategy} search, {stats.n_generations} generation(s); "
+        f"{strategy_name} search, {stats.n_generations} generation(s); "
         if stats.n_generations
         else ""
     )
@@ -431,6 +410,128 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if recovery:
         print(f"recovery: {', '.join(recovery)}")
     return 1 if result.failures and not result.records else 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service import run_worker
+
+    if args.lease_size < 1:
+        raise SystemExit("error: --lease-size must be >= 1")
+    fault_plan = _parse_fault_plan(args)
+    try:
+        summary = run_worker(
+            args.queue,
+            args.results,
+            worker_id=args.worker_id,
+            lease_size=args.lease_size,
+            poll_s=args.poll,
+            drain=args.drain,
+            idle_timeout_s=args.idle_timeout,
+            fault_plan=fault_plan,
+            store_backend=args.store_backend or "auto",
+            fsync_every=args.fsync_every,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(
+        f"worker {summary['worker']}: {summary['n_done']} done, "
+        f"{summary['n_failed']} failed over {summary['n_leases']} lease(s)"
+    )
+    return 0
+
+
+def cmd_coordinator(args: argparse.Namespace) -> int:
+    from repro.dse.request import dump_config
+    from repro.service import SweepCoordinator
+
+    merged = _merged_sweep_config(args)
+    if args.dump_config:
+        print(dump_config(merged), end="")
+        return 0
+    request = _request_from_merged(merged)
+    store_cfg, execution = merged["store"], merged["execution"]
+    if not store_cfg["results"]:
+        raise SystemExit(
+            "error: the coordinator requires --results (a SQLite store "
+            "shared with the workers)"
+        )
+    if merged["search"]["samples"] < 1:
+        raise SystemExit("error: --samples must be >= 1")
+    if merged["search"]["generations"] < 1:
+        raise SystemExit("error: --generations must be >= 1")
+    if store_cfg["fsync_every"] < 0:
+        raise SystemExit("error: --fsync-every must be >= 0")
+    circuits = request.spec.circuits
+    netlists = {name: _resolve_netlist(name) for name in circuits}
+    sources = {
+        name: str(Path(name).resolve())
+        for name in circuits
+        if name not in BY_NAME
+    }
+    fault_plan = _parse_fault_plan(args)
+    coordinator = SweepCoordinator(
+        store_cfg["results"],
+        queue_path=args.queue,
+        workers=args.spawn_workers,
+        lease_size=args.lease_size,
+        lease_timeout_s=args.lease_timeout,
+        poll_s=args.poll,
+        max_respawns=args.max_respawns,
+        resilience=_resilience_config(
+            execution["max_attempts"],
+            execution["batch_timeout"],
+            fault_plan,
+        ),
+        store_backend=store_cfg["backend"],
+        fsync_every=store_cfg["fsync_every"],
+        http_port=args.http,
+    )
+    try:
+        result = coordinator.submit(
+            request, netlists=netlists, sources=sources
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    return _report_sweep(result, request, args.robustness_top)
+
+
+def cmd_view(args: argparse.Namespace) -> int:
+    import sqlite3
+
+    from repro.service import SweepViewServer
+
+    queue_path = args.queue
+    if queue_path is None and Path(args.store).exists():
+        # The queue usually colocates with the store; attach it
+        # automatically when its tables are present in the same file.
+        with contextlib.closing(sqlite3.connect(args.store)) as conn:
+            with contextlib.suppress(sqlite3.Error):
+                found = conn.execute(
+                    "SELECT name FROM sqlite_master "
+                    "WHERE type = 'table' AND name = 'svc_tasks'"
+                ).fetchone()
+                if found is not None:
+                    queue_path = args.store
+    try:
+        server = SweepViewServer(
+            args.store,
+            queue_path=queue_path,
+            host=args.host,
+            port=args.port,
+        )
+    except OSError as error:
+        raise SystemExit(f"error: cannot bind view server: {error}") from None
+    print(
+        f"serving sweep view on http://{args.host}:{server.port}/ "
+        "(/stats /fronts /failures /workers; Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -665,6 +766,168 @@ def cmd_fig4(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sweep_config_args(
+    p: argparse.ArgumentParser, *, engine_execution: bool
+) -> None:
+    """The config-file-mergeable sweep options, in argument groups.
+
+    Shared by ``sweep`` and ``coordinator``.  Every option parses with
+    ``default=None`` so :func:`_overrides_from_args` can tell "not
+    given" from any real value when layering flags over ``--config``;
+    the true defaults live in :data:`repro.dse.request.CONFIG_DEFAULTS`
+    and are cited in the help text instead.
+    """
+    p.add_argument(
+        "circuits", nargs="*",
+        help="roster names or .bench/.blif paths (may also come from "
+        "--config [space] circuits)",
+    )
+    p.add_argument(
+        "--config", metavar="FILE",
+        help="TOML sweep config file; explicit flags override its "
+        "values (write a starting point with --dump-config)",
+    )
+    p.add_argument(
+        "--dump-config", action="store_true",
+        help="print the merged sweep config as TOML and exit",
+    )
+    space = p.add_argument_group(
+        "design space", "the axes the sweep spans"
+    )
+    space.add_argument(
+        "--policies", nargs="+", type=int, default=None,
+        choices=(1, 2, 3), help="(default: 1 2 3)",
+    )
+    space.add_argument(
+        "--budget-scales", nargs="+", type=float, default=None,
+        metavar="SCALE", help="(default: 0.5 1.0 2.0)",
+    )
+    space.add_argument(
+        "--nvm", nargs="+", default=None,
+        help="mram|reram|feram|pcm (default: mram)",
+    )
+    space.add_argument(
+        "--criteria", nargs="+", default=None, metavar="L,P,F",
+        help="replacement criteria weight triples (level,power,fanio; "
+        "default: 1,1,1)",
+    )
+    space.add_argument(
+        "--safe-zone", choices=("both", "on", "off"), default=None,
+        help="(default: both)",
+    )
+    space.add_argument(
+        "--threshold-scales", nargs="+", type=float, default=None,
+        metavar="FACTOR", help="(default: 1.0)",
+    )
+    space.add_argument(
+        "--safe-margin-scales", nargs="+", type=float, default=None,
+        metavar="FACTOR",
+        help="safe-zone widths relative to the derived default",
+    )
+    scen = p.add_argument_group(
+        "scenarios", "harvest environments to sweep under"
+    )
+    scen.add_argument(
+        "--scenario", nargs="+", default=None,
+        metavar="NAME[@SEED[@SCALE]]",
+        help="registry names from 'scenarios list' or .csv/.jsonl "
+        "power-log paths (default: paper-fig5)",
+    )
+    search = p.add_argument_group(
+        "search", "adaptive strategies over the spanned space"
+    )
+    search.add_argument(
+        "--strategy", choices=_STRATEGY_CHOICES, default=None,
+        help="grid walks the spec full-factorially (default); "
+        "random/lhs sample the spanned space; halving screens a pool "
+        "under a cheap generous scenario then promotes; evolution "
+        "mutates around the Pareto front",
+    )
+    search.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="candidate budget per generation for non-grid strategies "
+        "(random sample count / halving pool / evolution population; "
+        "default: 24)",
+    )
+    search.add_argument(
+        "--generations", type=int, default=None, metavar="N",
+        help="adaptive rounds for halving/evolution strategies "
+        "(default: 4)",
+    )
+    search.add_argument(
+        "--search-seed", type=int, default=None, metavar="SEED",
+        help="RNG seed of the search strategy (deterministic per "
+        "seed; default: 0)",
+    )
+    analysis = p.add_argument_group(
+        "analysis", "static checks before simulation"
+    )
+    analysis.add_argument(
+        "--analysis-prune", action="store_true", default=None,
+        help="static interval analysis before simulating: grid sweeps "
+        "skip points proven infeasible (recorded as kind='pruned' "
+        "failures, never silently dropped); halving searches cut the "
+        "opening pool with a zero-cost static round 0",
+    )
+    execution = p.add_argument_group(
+        "execution", "parallelism and retry behaviour"
+    )
+    if engine_execution:
+        execution.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes (default: 1 = serial)",
+        )
+    execution.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="evaluation attempts per task before a transient failure "
+        "becomes permanent (1 disables retries; default: 3)",
+    )
+    execution.add_argument(
+        "--batch-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per parallel batch; overdue batches are "
+        "resubmitted to a rebuilt worker pool (default: no deadline)",
+    )
+    store = p.add_argument_group("result store", "persistence and resume")
+    store.add_argument(
+        "--results", metavar="FILE", default=None,
+        help="stream records to this result store (JSON lines or "
+        "SQLite)",
+    )
+    store.add_argument(
+        "--store-backend", choices=("auto", "jsonl", "sqlite"),
+        default=None,
+        help="result-store backend; auto (default) detects an existing "
+        "file's format, else picks sqlite for .sqlite/.sqlite3/.db "
+        "extensions and jsonl otherwise",
+    )
+    store.add_argument(
+        "--resume", action="store_true", default=None,
+        help="skip points already present in --results (indexed key "
+        "lookup; warns if the store's base configuration differs)",
+    )
+    store.add_argument(
+        "--fsync-every", type=int, default=None, metavar="N",
+        help="fsync --results after every N records (default: 0 = "
+        "leave flushing to the OS)",
+    )
+
+
+def _add_chaos_args(p: argparse.ArgumentParser) -> None:
+    """The fault-injection options (not part of the config file)."""
+    chaos = p.add_argument_group("chaos", "deterministic fault injection")
+    chaos.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="chaos testing: semicolon-separated faults of the form "
+        "action[(seconds)][xN][@match] with action one of crash, hang, "
+        "transient, corrupt — e.g. 'crash;hang(2.5)@b02;transientx2'",
+    )
+    chaos.add_argument(
+        "--fault-dir", metavar="DIR",
+        help="shared trip-state directory for --inject-faults "
+        "(default: a fresh temp dir, so each run re-arms its plan)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -696,120 +959,122 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="design-space exploration (parallel, cached, resumable)",
     )
-    p_sweep.add_argument(
-        "circuits", nargs="+", help="roster names or .bench/.blif paths"
-    )
-    p_sweep.add_argument(
-        "--policies", nargs="+", type=int, default=[1, 2, 3],
-        choices=(1, 2, 3),
-    )
-    p_sweep.add_argument(
-        "--budget-scales", nargs="+", type=float, default=[0.5, 1.0, 2.0],
-        metavar="SCALE",
-    )
-    p_sweep.add_argument(
-        "--nvm", nargs="+", default=["mram"], help="mram|reram|feram|pcm"
-    )
-    p_sweep.add_argument(
-        "--criteria", nargs="+", default=["1,1,1"], metavar="L,P,F",
-        help="replacement criteria weight triples (level,power,fanio)",
-    )
-    p_sweep.add_argument(
-        "--safe-zone", choices=("both", "on", "off"), default="both"
-    )
-    p_sweep.add_argument(
-        "--threshold-scales", nargs="+", type=float, default=[1.0],
-        metavar="FACTOR",
-    )
-    p_sweep.add_argument(
-        "--safe-margin-scales", nargs="+", type=float, default=[],
-        metavar="FACTOR",
-        help="safe-zone widths relative to the derived default",
-    )
-    p_sweep.add_argument(
-        "--scenario", nargs="+", default=["paper-fig5"],
-        metavar="NAME[@SEED[@SCALE]]",
-        help="harvest environments to sweep under (registry names from "
-        "'scenarios list' or .csv/.jsonl power-log paths)",
-    )
+    _add_sweep_config_args(p_sweep, engine_execution=True)
+    _add_chaos_args(p_sweep)
     p_sweep.add_argument(
         "--robustness-top", type=int, default=10, metavar="N",
         help="rows of the cross-scenario robustness table to print",
     )
-    p_sweep.add_argument(
-        "--strategy", choices=_STRATEGY_CHOICES, default="grid",
-        help="search strategy: grid walks the spec full-factorially; "
-        "random/lhs sample the spanned space; halving screens a pool "
-        "under a cheap generous scenario then promotes; evolution "
-        "mutates around the Pareto front",
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_coord = sub.add_parser(
+        "coordinator",
+        help="shard one sweep across queue-fed worker processes",
     )
-    p_sweep.add_argument(
-        "--samples", type=int, default=24, metavar="N",
-        help="candidate budget per generation for non-grid strategies "
-        "(random sample count / halving pool / evolution population)",
+    _add_sweep_config_args(p_coord, engine_execution=False)
+    service = p_coord.add_argument_group(
+        "service", "queue, worker fleet and view wiring"
     )
-    p_sweep.add_argument(
-        "--generations", type=int, default=4, metavar="N",
-        help="adaptive rounds for halving/evolution strategies",
+    service.add_argument(
+        "--queue", metavar="FILE", default=None,
+        help="lease-queue database (default: colocate with --results)",
     )
-    p_sweep.add_argument(
-        "--search-seed", type=int, default=0, metavar="SEED",
-        help="RNG seed of the search strategy (deterministic per seed)",
+    service.add_argument(
+        "--spawn-workers", type=int, default=2, metavar="N",
+        help="worker processes to spawn (0 = rely on external "
+        "'repro worker' processes pointed at the same queue)",
     )
-    p_sweep.add_argument(
-        "--analysis-prune", action="store_true",
-        help="static interval analysis before simulating: grid sweeps "
-        "skip points proven infeasible (recorded as kind='pruned' "
-        "failures, never silently dropped); halving searches cut the "
-        "opening pool with a zero-cost static round 0",
+    service.add_argument(
+        "--lease-size", type=int, default=8, metavar="N",
+        help="max tasks per worker lease (one synthesis stage each)",
     )
-    p_sweep.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (1 = serial)",
+    service.add_argument(
+        "--lease-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="lease lifetime before a silent worker is presumed dead; "
+        "must exceed the worst-case wall time of one lease",
     )
-    p_sweep.add_argument(
-        "--results", metavar="FILE",
-        help="stream records to this result store (JSON lines or SQLite)",
+    service.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="coordinator supervision interval",
     )
-    p_sweep.add_argument(
+    service.add_argument(
+        "--max-respawns", type=int, default=4, metavar="N",
+        help="replacement workers allowed after crashes",
+    )
+    service.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the read-only sweep view on this port for the "
+        "duration of the run (0 = ephemeral port)",
+    )
+    _add_chaos_args(p_coord)
+    p_coord.add_argument(
+        "--robustness-top", type=int, default=10, metavar="N",
+        help="rows of the cross-scenario robustness table to print",
+    )
+    p_coord.set_defaults(func=cmd_coordinator)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="evaluate leases from a coordinator's queue until drained",
+    )
+    p_worker.add_argument(
+        "--queue", metavar="FILE", required=True,
+        help="the coordinator's lease-queue database",
+    )
+    p_worker.add_argument(
+        "--results", metavar="FILE", required=True,
+        help="the shared SQLite result store",
+    )
+    p_worker.add_argument(
         "--store-backend", choices=("auto", "jsonl", "sqlite"),
         default="auto",
-        help="result-store backend; auto (default) detects an existing "
-        "file's format, else picks sqlite for .sqlite/.sqlite3/.db "
-        "extensions and jsonl otherwise",
+        help="result-store backend (must resolve to sqlite)",
     )
-    p_sweep.add_argument(
-        "--resume", action="store_true",
-        help="skip points already present in --results (indexed key "
-        "lookup; warns if the store's base configuration differs)",
+    p_worker.add_argument(
+        "--worker-id", metavar="NAME", default=None,
+        help="queue-visible identity (default: host-pid)",
     )
-    p_sweep.add_argument(
-        "--max-attempts", type=int, default=3, metavar="N",
-        help="evaluation attempts per task before a transient failure "
-        "becomes permanent (1 disables retries)",
+    p_worker.add_argument(
+        "--lease-size", type=int, default=8, metavar="N",
+        help="max tasks per claim",
     )
-    p_sweep.add_argument(
-        "--batch-timeout", type=float, default=None, metavar="SECONDS",
-        help="deadline per parallel batch; overdue batches are "
-        "resubmitted to a rebuilt worker pool (default: no deadline)",
+    p_worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between empty claims",
     )
-    p_sweep.add_argument(
+    p_worker.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue is empty even if it is still open",
+    )
+    p_worker.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this much continuous idleness "
+        "(default: wait for the queue to close)",
+    )
+    p_worker.add_argument(
         "--fsync-every", type=int, default=0, metavar="N",
-        help="fsync --results after every N records (0 = leave "
-        "flushing to the OS)",
+        help="fsync the store after every N records",
     )
-    p_sweep.add_argument(
-        "--inject-faults", metavar="SPEC",
-        help="chaos testing: semicolon-separated faults of the form "
-        "action[(seconds)][xN][@match] with action one of crash, hang, "
-        "transient, corrupt — e.g. 'crash;hang(2.5)@b02;transientx2'",
+    _add_chaos_args(p_worker)
+    p_worker.set_defaults(func=cmd_worker)
+
+    p_view = sub.add_parser(
+        "view",
+        help="read-only HTTP JSON view over a sweep store",
     )
-    p_sweep.add_argument(
-        "--fault-dir", metavar="DIR",
-        help="shared trip-state directory for --inject-faults "
-        "(default: a fresh temp dir, so each run re-arms its plan)",
+    p_view.add_argument(
+        "store", metavar="STORE", help="result store to render"
     )
-    p_sweep.set_defaults(func=cmd_sweep)
+    p_view.add_argument(
+        "--queue", metavar="FILE", default=None,
+        help="lease queue for /failures, /workers and queue stats",
+    )
+    p_view.add_argument("--host", default="127.0.0.1")
+    p_view.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port (0 = ephemeral)",
+    )
+    p_view.set_defaults(func=cmd_view)
 
     p_scen = sub.add_parser(
         "scenarios", help="inspect the harvest-environment registry"

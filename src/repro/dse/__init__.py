@@ -24,6 +24,14 @@ from repro.dse.explorer import (
 )
 from repro.dse.faults import FaultPlan, FaultSpec
 from repro.dse.pareto import hypervolume_2d, pareto_front, record_front
+from repro.dse.request import (
+    SweepRequest,
+    dump_config,
+    load_config_file,
+    merge_config,
+    request_from_config,
+    request_to_config,
+)
 from repro.dse.resilience import (
     PoolSupervisor,
     ResilienceConfig,
@@ -91,6 +99,7 @@ __all__ = [
     "SweepAggregator",
     "SweepEngine",
     "SweepFailure",
+    "SweepRequest",
     "SweepResult",
     "SweepSpec",
     "SweepStats",
@@ -100,10 +109,13 @@ __all__ = [
     "best_margin",
     "best_pdp_by_group",
     "detect_backend",
+    "dump_config",
     "evaluate_point",
     "expand_points",
     "hypervolume_2d",
+    "load_config_file",
     "make_strategy",
+    "merge_config",
     "migrate_store",
     "open_store",
     "pareto_front",
@@ -112,5 +124,7 @@ __all__ = [
     "record_from_dict",
     "record_key_from_dict",
     "record_to_dict",
+    "request_from_config",
+    "request_to_config",
     "sweep_safe_margin",
 ]

@@ -19,11 +19,15 @@ tractable:
   :class:`~repro.dse.aggregate.SweepAggregator`; a re-run against a
   partial store skips every point already on disk via the store's
   indexed ``keys()`` — resume never materializes the full record set;
-* **search strategies** — :meth:`SweepEngine.run` walks a
-  full-factorial :class:`SweepSpec`; :meth:`SweepEngine.run_search`
-  drives any :class:`~repro.dse.strategies.SearchStrategy` through the
-  same machinery generation by generation, with unchanged store keys so
-  adaptive searches resume exactly like grids;
+* **one submission API** — :meth:`SweepEngine.submit` consumes a
+  :class:`~repro.dse.request.SweepRequest`: a ``grid`` request walks
+  its full-factorial :class:`SweepSpec`, any other strategy drives a
+  :class:`~repro.dse.strategies.SearchStrategy` through the same
+  machinery generation by generation, with unchanged store keys so
+  adaptive searches resume exactly like grids (the legacy ``run`` /
+  ``run_search`` signatures remain as deprecated shims for one
+  release, and the :mod:`repro.service` coordinator consumes the same
+  request object to shard the work across processes);
 * **fault tolerance** — execution is supervised by
   :class:`~repro.dse.resilience.ResilienceConfig`: transient failures
   (worker crashes, broken pools, injected chaos) retry with seeded
@@ -48,6 +52,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.circuits.netlist import Netlist
 from repro.core.diac import DiacConfig
@@ -79,6 +84,9 @@ from repro.dse.strategies import EvalOutcome, SearchStrategy
 from repro.energy.scenarios import ScenarioSpec
 from repro.suite.registry import load_circuit
 from repro.tech.nvm import MRAM, NvmTechnology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dse.request import SweepRequest
 
 #: A task key: ``(circuit, *scenario.identity(), *point.identity())`` —
 #: the exact-precision identity resume, dedup and failure bookkeeping
@@ -116,6 +124,106 @@ def _spec_axes(spec: "SweepSpec") -> dict:
         "safe_margin_scales": list(spec.safe_margin_scales),
         "scenarios": [list(s.identity()) for s in spec.scenarios],
     }
+
+
+def expand_tasks(spec: "SweepSpec") -> list[_Task]:
+    """The spec's deduplicated evaluation tasks, in spec order.
+
+    Repeated axis values (e.g. the same circuit listed twice) collapse
+    to one task, so every consumer — the in-process engine and the
+    :mod:`repro.service` coordinator alike — sees one evaluation, one
+    record and consistent stats per distinct point.
+    """
+    tasks: list[_Task] = []
+    seen: set[_TaskKey] = set()
+    for circuit, scenario, point in spec.points():
+        key = _task_key(circuit, scenario, point)
+        if key not in seen:
+            seen.add(key)
+            tasks.append((key, circuit, scenario, point))
+    return tasks
+
+
+def sync_store_metadata(
+    store: ResultStore | None,
+    base_config: DiacConfig | None,
+    axes: object,
+    resume: bool,
+) -> None:
+    """Stamp the run's spec fingerprint; warn before mixing configs.
+
+    Resume keys cover the circuit, scenario and exact design point but
+    NOT ``base_config`` — two stores written under different base
+    configurations hold records that are not comparable, and nothing in
+    the records themselves says so.  The store metadata therefore
+    carries a two-part fingerprint: the base-config hash (mismatch =
+    the silent-mixing hazard, warned about loudly) and the axes hash
+    (provenance only — growing a spec and resuming is a supported
+    workflow, not a mistake).
+    """
+    if store is None:
+        return
+    current = {
+        "base_config": config_fingerprint(base_config),
+        "axes": value_fingerprint(axes),
+    }
+    stored = store.get_metadata().get("spec_fingerprint")
+    if (
+        isinstance(stored, dict)
+        and stored.get("base_config") not in (None, current["base_config"])
+    ):
+        verb = "resuming" if resume else "appending"
+        warnings.warn(
+            f"{getattr(store, 'path', store)}: store was "
+            f"written under base configuration "
+            f"{stored['base_config']} but this run uses "
+            f"{current['base_config']}; {verb} mixes records that "
+            "are not comparable — keep one store per base "
+            "configuration",
+            stacklevel=4,
+        )
+    store.set_metadata(spec_fingerprint=current)
+
+
+def prune_tasks(
+    pending: list[_Task],
+    netlists: dict[str, Netlist],
+    base_config: DiacConfig | None = None,
+) -> tuple[list[_Task], dict[_TaskKey, "SweepFailure"]]:
+    """Split pending tasks into (simulate, provably-infeasible).
+
+    Uses only the ``INFEASIBLE`` verdict — ``DOMINATED`` points can
+    still run, and pruning them would break record parity with a clean
+    sweep.  Analysis errors downgrade to ``UNKNOWN`` inside
+    :func:`~repro.analysis.assess_point`, so a point that cannot even
+    be analysed still flows through the simulation path and fails with
+    its canonical error.
+    """
+    from repro.analysis.feasibility import Verdict, assess_point
+
+    caches: dict[str, SynthesisCache] = {}
+    remaining: list[_Task] = []
+    pruned: dict[_TaskKey, SweepFailure] = {}
+    for key, circuit, scenario, point in pending:
+        report = assess_point(
+            netlists[circuit],
+            point,
+            base_config=base_config,
+            cache=caches.setdefault(circuit, SynthesisCache()),
+            scenario=scenario,
+        )
+        if report.verdict is Verdict.INFEASIBLE:
+            pruned[key] = SweepFailure(
+                circuit=circuit,
+                label=point.label(),
+                error=report.reason,
+                scenario=scenario.label(),
+                kind=PRUNED,
+                attempts=0,
+            )
+        else:
+            remaining.append((key, circuit, scenario, point))
+    return remaining, pruned
 
 
 @dataclass(frozen=True)
@@ -1166,41 +1274,88 @@ class SweepEngine:
         return resumed
 
     def _sync_store_metadata(self, axes: object, resume: bool) -> None:
-        """Stamp the run's spec fingerprint; warn before mixing configs.
+        """Delegate to the module-level :func:`sync_store_metadata`."""
+        sync_store_metadata(self.store, self.base_config, axes, resume)
 
-        Resume keys cover the circuit, scenario and exact design point
-        but NOT ``base_config`` — two stores written under different
-        base configurations hold records that are not comparable, and
-        nothing in the records themselves says so.  The store metadata
-        therefore carries a two-part fingerprint: the base-config hash
-        (mismatch = the silent-mixing hazard, warned about loudly) and
-        the axes hash (provenance only — growing a spec and resuming is
-        a supported workflow, not a mistake).
+    def submit(
+        self,
+        request: "SweepRequest",
+        netlists: dict[str, Netlist] | None = None,
+    ) -> SweepResult:
+        """Execute one :class:`~repro.dse.request.SweepRequest`.
+
+        The single submission entry point: a ``grid`` request walks its
+        spec full-factorially (the former ``run``); any other strategy
+        — named or instance — is materialized via
+        :meth:`~repro.dse.request.SweepRequest.build_strategy` and
+        driven ask/tell over ``spec.circuits`` x ``spec.scenarios``
+        (the former ``run_search``).  The distributed
+        :class:`repro.service.SweepCoordinator` consumes the same
+        request object, so switching between in-process and queue-backed
+        execution never changes what is described, only where it runs.
+
+        Args:
+            request: what to explore and how.
+            netlists: circuit name -> netlist mapping; roster names are
+                loaded automatically when omitted.
+
+        Returns:
+            A :class:`SweepResult`; see :meth:`SweepRequest
+            <repro.dse.request.SweepRequest>` for how the strategy
+            shapes its records.
+
+        Raises:
+            KeyError: for a circuit neither in ``netlists`` nor on the
+                benchmark roster.
         """
-        if self.store is None:
-            return
-        current = {
-            "base_config": config_fingerprint(self.base_config),
-            "axes": value_fingerprint(axes),
-        }
-        stored = self.store.get_metadata().get("spec_fingerprint")
-        if (
-            isinstance(stored, dict)
-            and stored.get("base_config") not in (None, current["base_config"])
-        ):
-            verb = "resuming" if resume else "appending"
-            warnings.warn(
-                f"{getattr(self.store, 'path', self.store)}: store was "
-                f"written under base configuration "
-                f"{stored['base_config']} but this run uses "
-                f"{current['base_config']}; {verb} mixes records that "
-                "are not comparable — keep one store per base "
-                "configuration",
-                stacklevel=3,
+        if request.strategy_name == "grid":
+            return self._run_spec(
+                request.spec,
+                netlists=netlists,
+                resume=request.resume,
+                analysis_prune=request.analysis_prune,
             )
-        self.store.set_metadata(spec_fingerprint=current)
+        netlists = dict(netlists or {})
+        for name in request.spec.circuits:
+            if name not in netlists:
+                netlists[name] = load_circuit(name)
+        strategy = request.build_strategy(netlists)
+        return self._run_strategy(
+            strategy,
+            circuits=request.spec.circuits,
+            scenarios=request.spec.scenarios,
+            netlists=netlists,
+            resume=request.resume,
+            max_generations=request.effective_max_generations(),
+        )
 
     def run(
+        self,
+        spec: SweepSpec,
+        netlists: dict[str, Netlist] | None = None,
+        resume: bool = False,
+        analysis_prune: bool = False,
+    ) -> SweepResult:
+        """Deprecated alias for :meth:`submit` with a grid request.
+
+        Kept for one release as a thin shim; build a
+        :class:`~repro.dse.request.SweepRequest` and call
+        :meth:`submit` instead.
+        """
+        warnings.warn(
+            "SweepEngine.run() is deprecated; build a SweepRequest and "
+            "call SweepEngine.submit()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_spec(
+            spec,
+            netlists=netlists,
+            resume=resume,
+            analysis_prune=analysis_prune,
+        )
+
+    def _run_spec(
         self,
         spec: SweepSpec,
         netlists: dict[str, Netlist] | None = None,
@@ -1246,15 +1401,7 @@ class SweepEngine:
             if name not in netlists:
                 netlists[name] = load_circuit(name)
 
-        # Dedupe repeated axis values (e.g. the same circuit listed
-        # twice): one evaluation, one record, consistent stats.
-        tasks: list[_Task] = []
-        seen: set[_TaskKey] = set()
-        for circuit, scenario, point in spec.points():
-            key = _task_key(circuit, scenario, point)
-            if key not in seen:
-                seen.add(key)
-                tasks.append((key, circuit, scenario, point))
+        tasks = expand_tasks(spec)
         stats = SweepStats(n_points=len(tasks), workers=self.workers)
         self._sync_store_metadata(_spec_axes(spec), resume)
 
@@ -1309,42 +1456,40 @@ class SweepEngine:
         pending: list[_Task],
         netlists: dict[str, Netlist],
     ) -> tuple[list[_Task], dict[_TaskKey, SweepFailure]]:
-        """Split pending tasks into (simulate, provably-infeasible).
-
-        Uses only the ``INFEASIBLE`` verdict — ``DOMINATED`` points can
-        still run, and pruning them would break record parity with a
-        clean sweep.  Analysis errors downgrade to ``UNKNOWN`` inside
-        :func:`~repro.analysis.assess_point`, so a point that cannot
-        even be analysed still flows through the simulation path and
-        fails with its canonical error.
-        """
-        from repro.analysis.feasibility import Verdict, assess_point
-
-        caches: dict[str, SynthesisCache] = {}
-        remaining: list[_Task] = []
-        pruned: dict[_TaskKey, SweepFailure] = {}
-        for key, circuit, scenario, point in pending:
-            report = assess_point(
-                netlists[circuit],
-                point,
-                base_config=self.base_config,
-                cache=caches.setdefault(circuit, SynthesisCache()),
-                scenario=scenario,
-            )
-            if report.verdict is Verdict.INFEASIBLE:
-                pruned[key] = SweepFailure(
-                    circuit=circuit,
-                    label=point.label(),
-                    error=report.reason,
-                    scenario=scenario.label(),
-                    kind=PRUNED,
-                    attempts=0,
-                )
-            else:
-                remaining.append((key, circuit, scenario, point))
-        return remaining, pruned
+        """Delegate to the module-level :func:`prune_tasks`."""
+        return prune_tasks(pending, netlists, self.base_config)
 
     def run_search(
+        self,
+        strategy: SearchStrategy,
+        circuits: tuple[str, ...] = ("s27",),
+        scenarios: tuple[ScenarioSpec, ...] = (ScenarioSpec(),),
+        netlists: dict[str, Netlist] | None = None,
+        resume: bool = False,
+        max_generations: int = 64,
+    ) -> SweepResult:
+        """Deprecated alias for :meth:`submit` with a strategy request.
+
+        Kept for one release as a thin shim; build a
+        :class:`~repro.dse.request.SweepRequest` (passing the strategy
+        instance or its registry name) and call :meth:`submit` instead.
+        """
+        warnings.warn(
+            "SweepEngine.run_search() is deprecated; build a "
+            "SweepRequest and call SweepEngine.submit()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_strategy(
+            strategy,
+            circuits=circuits,
+            scenarios=scenarios,
+            netlists=netlists,
+            resume=resume,
+            max_generations=max_generations,
+        )
+
+    def _run_strategy(
         self,
         strategy: SearchStrategy,
         circuits: tuple[str, ...] = ("s27",),

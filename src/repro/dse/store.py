@@ -73,31 +73,45 @@ SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 _SQLITE_MAGIC = b"SQLite format 3\x00"
 
 
+def scenario_to_dict(scenario: ScenarioSpec) -> dict:
+    """Serialize one scenario spec to a JSON-compatible dict."""
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "scale": scenario.scale,
+    }
+
+
+def point_to_dict(point: DesignPoint) -> dict:
+    """Serialize one design point to a JSON-compatible dict.
+
+    The canonical wire shape for design points — shared by the record
+    stores and the :mod:`repro.service` queue payloads, so a point that
+    crosses a process boundary always deserializes to the exact resume
+    key it was keyed under.
+    """
+    criteria = point.criteria
+    return {
+        "policy": point.policy,
+        "budget_scale": point.budget_scale,
+        "technology": point.technology.name,
+        "criteria": {
+            "level_weight": criteria.level_weight,
+            "power_weight": criteria.power_weight,
+            "fanio_weight": criteria.fanio_weight,
+        },
+        "use_safe_zone": point.use_safe_zone,
+        "threshold_scale": point.threshold_scale,
+        "safe_margin_scale": point.safe_margin_scale,
+    }
+
+
 def record_to_dict(record: ExplorationRecord) -> dict:
     """Serialize one record to a JSON-compatible dict."""
-    point = record.point
-    criteria = point.criteria
-    scenario = record.scenario
     return {
         "circuit": record.circuit,
-        "scenario": {
-            "name": scenario.name,
-            "seed": scenario.seed,
-            "scale": scenario.scale,
-        },
-        "point": {
-            "policy": point.policy,
-            "budget_scale": point.budget_scale,
-            "technology": point.technology.name,
-            "criteria": {
-                "level_weight": criteria.level_weight,
-                "power_weight": criteria.power_weight,
-                "fanio_weight": criteria.fanio_weight,
-            },
-            "use_safe_zone": point.use_safe_zone,
-            "threshold_scale": point.threshold_scale,
-            "safe_margin_scale": point.safe_margin_scale,
-        },
+        "scenario": scenario_to_dict(record.scenario),
+        "point": point_to_dict(record.point),
         "pdp_js": record.pdp_js,
         "energy_j": record.energy_j,
         "active_time_s": record.active_time_s,
@@ -107,17 +121,38 @@ def record_to_dict(record: ExplorationRecord) -> dict:
     }
 
 
-def _scenario_from_dict(data: dict) -> ScenarioSpec:
+def scenario_from_dict(data: dict | None) -> ScenarioSpec:
     """The record dict's scenario spec (missing entry = paper default)."""
-    scenario_data = data.get("scenario")
-    if not scenario_data:
+    if not data:
         # Stores written before the scenario axis existed were evaluated
         # under exactly the default paper-fig5 environment.
         return ScenarioSpec()
     return ScenarioSpec(
-        name=scenario_data["name"],
-        seed=scenario_data["seed"],
-        scale=scenario_data["scale"],
+        name=data["name"],
+        seed=data["seed"],
+        scale=data["scale"],
+    )
+
+
+def _scenario_from_dict(data: dict) -> ScenarioSpec:
+    """The scenario of one *record* dict (which may predate the axis)."""
+    return scenario_from_dict(data.get("scenario"))
+
+
+def point_from_dict(data: dict) -> DesignPoint:
+    """Inverse of :func:`point_to_dict`.
+
+    Raises:
+        KeyError: on a malformed dict or unknown technology name.
+    """
+    return DesignPoint(
+        policy=data["policy"],
+        budget_scale=data["budget_scale"],
+        technology=get_technology(data["technology"]),
+        criteria=ReplacementCriteria(**data["criteria"]),
+        use_safe_zone=data["use_safe_zone"],
+        threshold_scale=data["threshold_scale"],
+        safe_margin_scale=data["safe_margin_scale"],
     )
 
 
@@ -128,16 +163,7 @@ def record_from_dict(data: dict) -> ExplorationRecord:
         KeyError: on a malformed dict or unknown technology name.
     """
     scenario = _scenario_from_dict(data)
-    point_data = data["point"]
-    point = DesignPoint(
-        policy=point_data["policy"],
-        budget_scale=point_data["budget_scale"],
-        technology=get_technology(point_data["technology"]),
-        criteria=ReplacementCriteria(**point_data["criteria"]),
-        use_safe_zone=point_data["use_safe_zone"],
-        threshold_scale=point_data["threshold_scale"],
-        safe_margin_scale=point_data["safe_margin_scale"],
-    )
+    point = point_from_dict(data["point"])
     return ExplorationRecord(
         point=point,
         pdp_js=data["pdp_js"],

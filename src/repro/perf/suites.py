@@ -268,14 +268,14 @@ def _sweep_counters(result) -> dict[str, object]:
 
 
 def _sweep_engine_suite(name: str, workers: int, repeats: int) -> SuiteResult:
-    from repro.dse import SweepEngine
+    from repro.dse import SweepEngine, SweepRequest
     from repro.suite import load_circuit
 
-    spec = _sweep_spec()
+    request = SweepRequest(spec=_sweep_spec())
     netlists = {SWEEP_CIRCUIT: load_circuit(SWEEP_CIRCUIT)}
 
     def run_cold():
-        return SweepEngine(workers=workers).run(spec, netlists=netlists)
+        return SweepEngine(workers=workers).submit(request, netlists=netlists)
 
     timing, result = time_call(run_cold, repeats=repeats)
     return SuiteResult(
@@ -304,21 +304,21 @@ def _sweep_resilience(repeats: int) -> SuiteResult:
     robustness layer: recovery machinery must be ~free when nothing
     fails (see docs/robustness.md).
     """
-    from repro.dse import ResilienceConfig, SweepEngine
+    from repro.dse import ResilienceConfig, SweepEngine, SweepRequest
     from repro.perf.timing import time_paired
     from repro.suite import load_circuit
 
-    spec = _sweep_spec()
+    request = SweepRequest(spec=_sweep_spec())
     netlists = {SWEEP_CIRCUIT: load_circuit(SWEEP_CIRCUIT)}
 
     def run_supervised():
-        return SweepEngine(workers=1).run(spec, netlists=netlists)
+        return SweepEngine(workers=1).submit(request, netlists=netlists)
 
     def run_bare():
         engine = SweepEngine(
             workers=1, resilience=ResilienceConfig.disabled()
         )
-        return engine.run(spec, netlists=netlists)
+        return engine.submit(request, netlists=netlists)
 
     timing, baseline, result = time_paired(
         run_supervised, run_bare, repeats=repeats
@@ -398,7 +398,7 @@ def _static_analysis(repeats: int) -> SuiteResult:
     from dataclasses import replace
 
     from repro.analysis import StaticScreener, bounds_for_point
-    from repro.dse import SweepEngine
+    from repro.dse import SweepEngine, SweepRequest, SweepSpec
     from repro.dse.explorer import SynthesisCache
     from repro.dse.pareto import hypervolume_2d
     from repro.dse.strategies import DesignSpace, SuccessiveHalvingStrategy
@@ -429,12 +429,15 @@ def _static_analysis(repeats: int) -> SuiteResult:
     )
 
     def run_pruned():
-        return SweepEngine(workers=1).run(
-            weak_spec, netlists=netlists, analysis_prune=True
+        return SweepEngine(workers=1).submit(
+            SweepRequest(spec=weak_spec, analysis_prune=True),
+            netlists=netlists,
         )
 
     def run_plain():
-        return SweepEngine(workers=1).run(weak_spec, netlists=netlists)
+        return SweepEngine(workers=1).submit(
+            SweepRequest(spec=weak_spec), netlists=netlists
+        )
 
     prune_timing, plain_timing, pruned = time_paired(
         run_pruned, run_plain, repeats=repeats
@@ -449,9 +452,10 @@ def _static_analysis(repeats: int) -> SuiteResult:
         strategy = SuccessiveHalvingStrategy(
             space, pool=16, rounds=2, seed=0, screener=screener
         )
-        return SweepEngine(workers=1).run_search(
-            strategy, circuits=(SWEEP_CIRCUIT,), netlists=netlists
+        request = SweepRequest(
+            spec=SweepSpec(circuits=(SWEEP_CIRCUIT,)), strategy=strategy
         )
+        return SweepEngine(workers=1).submit(request, netlists=netlists)
 
     halving = run_halving()
     screened = run_halving(

@@ -1,0 +1,579 @@
+"""The coordinator that shards one SweepRequest across worker processes.
+
+:class:`SweepCoordinator` is the distributed twin of
+:meth:`repro.dse.engine.SweepEngine.submit` — same
+:class:`~repro.dse.request.SweepRequest` in, same
+:class:`~repro.dse.engine.SweepResult` out, but evaluation happens in
+plain worker processes (``repro worker``) pulling stage-batch leases
+from a :class:`~repro.service.queue.LeaseQueue` and upserting into the
+shared SQLite store:
+
+* **grid requests** enqueue the spec's deduplicated task list (resume
+  filtering and static pruning applied exactly as the engine would)
+  and poll the queue down to zero;
+* **named search strategies** run the ask/tell loop *in* the
+  coordinator — the same dedup/resume/full-fidelity bookkeeping as the
+  engine's generational loop — with each generation's evaluations
+  fanned through the queue while the workers (and their process-global
+  synthesis caches) stay alive across generations.
+
+The coordinator also supervises: expired leases are reclaimed, dead
+worker processes are respawned up to a budget, and when no worker is
+left the remaining tasks are failed instead of polling forever.
+Determinism carries through: point evaluation is pure, stores upsert
+on the engine's resume keys, and lease retries reuse the engine's
+taxonomy/backoff — so the final record set is bit-identical to a
+single-process run of the same request, however leases interleave or
+workers die (the service tests pin this).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits.netlist import Netlist
+from repro.core.diac import DiacConfig
+from repro.dse.aggregate import SweepAggregator
+from repro.dse.engine import (
+    SweepFailure,
+    SweepResult,
+    SweepStats,
+    _spec_axes,
+    _task_key,
+    expand_tasks,
+    prune_tasks,
+    sync_store_metadata,
+)
+from repro.dse.request import SweepRequest
+from repro.dse.resilience import ResilienceConfig
+from repro.dse.sqlite_store import SqliteResultStore
+from repro.dse.store import open_store
+from repro.dse.strategies import EvalOutcome
+from repro.energy.scenarios import ScenarioSpec
+from repro.service.queue import LeaseQueue
+from repro.suite.registry import load_circuit
+
+#: One evaluation task, the engine's shape.
+_Task = tuple[tuple, str, ScenarioSpec, "object"]
+
+
+class SweepCoordinator:
+    """Shards :class:`SweepRequest` s over queue-fed worker processes.
+
+    Args:
+        store_path: the shared result store; must resolve to the SQLite
+            backend (WAL + upserts admit the concurrent writers).
+        queue_path: the lease-queue database.  Defaults to
+            ``store_path`` — the queue tables are ``svc_``-prefixed, so
+            store and queue colocate in one file and a whole
+            distributed sweep shares a single path.
+        workers: worker processes to spawn (``repro worker``
+            subprocesses).  0 spawns none — external workers pointed at
+            the same queue/store do the evaluating (multi-host mode,
+            and what the in-process service tests use).
+        lease_size: max tasks per worker claim.
+        lease_timeout_s: lease lifetime; must exceed the worst-case
+            wall time of one lease, since workers heartbeat *between*
+            leases (see docs/service.md).
+        poll_s: coordinator supervision interval.
+        max_respawns: replacement workers allowed after deaths.
+        resilience: retry policy source (``resilience.retry`` is
+            persisted into the queue) and fault plan forwarded to
+            spawned workers via ``--inject-faults``/``--fault-dir``.
+        base_config: synthesis defaults, identical to the engine's.
+        store_backend: forwarded to :func:`~repro.dse.store.open_store`.
+        fsync_every: forwarded to :func:`~repro.dse.store.open_store`.
+        http_port: when not ``None``, serve the read-only
+            :class:`~repro.service.view.SweepViewServer` on this port
+            for the duration of :meth:`submit` (0 = ephemeral port).
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        queue_path: str | Path | None = None,
+        workers: int = 2,
+        lease_size: int = 8,
+        lease_timeout_s: float = 60.0,
+        poll_s: float = 0.2,
+        max_respawns: int = 4,
+        resilience: ResilienceConfig | None = None,
+        base_config: DiacConfig | None = None,
+        store_backend: str = "auto",
+        fsync_every: int = 0,
+        http_port: int | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if lease_size < 1:
+            raise ValueError("lease_size must be >= 1")
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        self.store_path = Path(store_path)
+        self.queue_path = (
+            Path(queue_path) if queue_path is not None else self.store_path
+        )
+        self.workers = workers
+        self.lease_size = lease_size
+        self.lease_timeout_s = lease_timeout_s
+        self.poll_s = poll_s
+        self.max_respawns = max_respawns
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self.base_config = base_config
+        self.store_backend = store_backend
+        self.fsync_every = fsync_every
+        self.http_port = http_port
+        self._procs: list[subprocess.Popen] = []
+        self._respawns_left = max_respawns
+
+    # -- worker process management --------------------------------------
+
+    def _worker_argv(self) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro", "worker",
+            "--queue", str(self.queue_path),
+            "--results", str(self.store_path),
+            "--store-backend", self.store_backend,
+            "--lease-size", str(self.lease_size),
+            "--poll", str(self.poll_s),
+            "--fsync-every", str(self.fsync_every),
+        ]
+        plan = self.resilience.fault_plan
+        if plan is not None:
+            # describe() round-trips through FaultPlan.parse, and the
+            # shared state dir keeps trip markers global to the fleet —
+            # a crash fault fires once per run, not once per worker.
+            argv += [
+                "--inject-faults", plan.describe(),
+                "--fault-dir", str(plan.state_dir),
+            ]
+        return argv
+
+    def _spawn_worker(self) -> None:
+        import os
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._procs.append(
+            subprocess.Popen(self._worker_argv(), env=env)
+        )
+
+    def _supervise_workers(self, queue: LeaseQueue) -> bool:
+        """Reap dead workers, respawn within budget; False = none left.
+
+        A worker that exited *cleanly* (code 0) is not replaced — clean
+        exits only happen when the queue told it to stop.  Spawning no
+        workers at all (``workers=0``) always returns True: liveness is
+        someone else's job then.
+        """
+        if self.workers == 0:
+            return True
+        for proc in list(self._procs):
+            code = proc.poll()
+            if code is not None and code != 0 and self._respawns_left > 0:
+                self._respawns_left -= 1
+                queue.reclaim_expired()
+                self._spawn_worker()
+        self._procs = [p for p in self._procs if p.poll() is None]
+        return bool(self._procs)
+
+    def _shutdown_workers(self, timeout_s: float = 30.0) -> None:
+        deadline = time.time() + timeout_s
+        for proc in self._procs:
+            remaining = max(0.1, deadline - time.time())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self._procs = []
+
+    # -- submission -----------------------------------------------------
+
+    def submit(
+        self,
+        request: SweepRequest,
+        netlists: dict[str, Netlist] | None = None,
+        sources: dict[str, str] | None = None,
+    ) -> SweepResult:
+        """Execute one request across the worker fleet.
+
+        Mirrors :meth:`SweepEngine.submit
+        <repro.dse.engine.SweepEngine.submit>`: grid requests shard the
+        spec walk, named strategies run the generational loop with
+        queue-fanned evaluations.  The result's ``records`` come back
+        from the shared store in the engine's order (spec order for
+        grids, first-evaluation order for searches).
+
+        Args:
+            request: what to explore and how.  Strategy *instances* are
+                rejected — only named strategies describe work that can
+                cross a process boundary.
+            netlists: circuit name -> netlist mapping used by the
+                coordinator itself (static pruning, search screeners);
+                workers load their own copies.
+            sources: circuit name -> netlist file path for non-roster
+                circuits, forwarded through the queue payloads so
+                workers can load them (roster names need no entry).
+
+        Returns:
+            A :class:`~repro.dse.engine.SweepResult` over the shared
+            store's records.
+
+        Raises:
+            ValueError: for a strategy instance, or a store path that
+                does not resolve to the SQLite backend.
+        """
+        if request.strategy_name is None:
+            raise ValueError(
+                "the coordinator needs a named strategy; strategy "
+                "instances cannot cross process boundaries"
+            )
+        store = open_store(
+            self.store_path,
+            backend=self.store_backend,
+            fsync_every=self.fsync_every,
+        )
+        if not isinstance(store, SqliteResultStore):
+            raise ValueError(
+                f"the sweep service requires the SQLite store backend; "
+                f"{self.store_path} resolved to {type(store).__name__}"
+            )
+        queue = LeaseQueue(
+            self.queue_path,
+            retry=self.resilience.retry,
+            lease_timeout_s=self.lease_timeout_s,
+        )
+        view = None
+        try:
+            queue.configure(
+                retry=self.resilience.retry,
+                lease_timeout_s=self.lease_timeout_s,
+            )
+            if self.http_port is not None:
+                from repro.service.view import SweepViewServer
+
+                view = SweepViewServer(
+                    self.store_path,
+                    queue_path=self.queue_path,
+                    port=self.http_port,
+                )
+                view.start_background()
+            if request.strategy_name == "grid":
+                return self._submit_grid(
+                    request, netlists, sources, store, queue
+                )
+            return self._submit_search(
+                request, netlists, sources, store, queue
+            )
+        finally:
+            if view is not None:
+                view.shutdown()
+            queue.set_state("closed")
+            self._shutdown_workers()
+            queue.close()
+            store.close()
+
+    def _await_queue(self, queue: LeaseQueue, keys: list[tuple]) -> None:
+        """Poll until every given key is resolved (or nobody can).
+
+        The supervision loop: reclaim expired leases, respawn dead
+        workers within budget, and — when the fleet is gone for good —
+        fail the stragglers rather than wait forever.
+        """
+        while keys:
+            queue.reclaim_expired()
+            statuses = queue.statuses(keys)
+            if all(
+                statuses.get(key) in ("done", "failed") for key in keys
+            ):
+                return
+            if not self._supervise_workers(queue):
+                queue.reclaim_expired()
+                queue.fail_unfinished(
+                    "no live workers remain and the respawn budget "
+                    f"({self.max_respawns}) is spent"
+                )
+                return
+            time.sleep(self.poll_s)
+
+    def _fetch_group_records(
+        self,
+        store: SqliteResultStore,
+        wanted: dict[tuple, tuple[str, str]],
+    ) -> dict[tuple, "object"]:
+        """Engine-shaped group fetch: one indexed query per group."""
+        fetched: dict[tuple, object] = {}
+        by_group: dict[tuple[str, str], set[tuple]] = {}
+        for key, group in wanted.items():
+            by_group.setdefault(group, set()).add(key)
+        for (label, circuit), keys in by_group.items():
+            for record in store.iter_records(
+                scenario=label, circuit=circuit
+            ):
+                if record.key() in keys:
+                    fetched[record.key()] = record
+        return fetched
+
+    def _queue_failures(
+        self, queue: LeaseQueue, keys: set[tuple] | None = None
+    ) -> dict[tuple, SweepFailure]:
+        """The queue's failed rows as engine failures, keyed by task."""
+        failures: dict[tuple, SweepFailure] = {}
+        for entry in queue.failures():
+            failures[tuple(entry["key"])] = SweepFailure(
+                circuit=entry["circuit"],
+                label=entry["label"],
+                error=entry["error"],
+                scenario=entry["scenario"],
+                kind=entry["kind"],
+                attempts=entry["attempts"],
+            )
+        if keys is not None:
+            failures = {
+                key: failure
+                for key, failure in failures.items()
+                if key in keys
+            }
+        return failures
+
+    def _submit_grid(
+        self,
+        request: SweepRequest,
+        netlists: dict[str, Netlist] | None,
+        sources: dict[str, str] | None,
+        store: SqliteResultStore,
+        queue: LeaseQueue,
+    ) -> SweepResult:
+        start = time.perf_counter()
+        spec = request.spec
+        tasks = expand_tasks(spec)
+        stats = SweepStats(n_points=len(tasks), workers=self.workers)
+        sync_store_metadata(
+            store, self.base_config, _spec_axes(spec), request.resume
+        )
+
+        resumed_keys: set[tuple] = set()
+        if request.resume:
+            on_disk = store.keys()
+            resumed_keys = {
+                key for key, *_rest in tasks if key in on_disk
+            }
+        pending = [t for t in tasks if t[0] not in resumed_keys]
+        stats.n_resumed = len(tasks) - len(pending)
+
+        pruned: dict[tuple, SweepFailure] = {}
+        if request.analysis_prune:
+            loaded = dict(netlists or {})
+            for name in spec.circuits:
+                if name not in loaded:
+                    loaded[name] = load_circuit(name)
+            pending, pruned = prune_tasks(
+                pending, loaded, self.base_config
+            )
+            stats.n_pruned = len(pruned)
+
+        queue.clear_tasks()
+        queue.set_state("open")
+        queue.enqueue(pending, sources=sources)
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._await_queue(queue, [key for key, *_r in pending])
+        queue.set_state("closed")
+
+        counts = queue.counts_for([key for key, *_r in pending])
+        stats.n_evaluated = counts["n_done"]
+        stats.n_failed = counts["n_failed"]
+        stats.n_retries = counts["n_retries"]
+
+        # The run's records = this run's resolved tasks, read back from
+        # the shared store.  Failed and pruned keys are excluded so a
+        # stale on-disk record (resume=False against a reused store)
+        # can never smuggle a point this run did not produce.
+        failures = self._queue_failures(queue)
+        wanted = {
+            key: (scenario.label(), circuit)
+            for key, circuit, scenario, _point in tasks
+            if key not in failures and key not in pruned
+        }
+        records_by_key = self._fetch_group_records(store, wanted)
+        aggregate = SweepAggregator()
+        ordered = []
+        for key, *_rest in tasks:
+            record = records_by_key.get(key)
+            if record is not None:
+                ordered.append(record)
+        aggregate.add_many(ordered)
+        stats.wall_s = time.perf_counter() - start
+        return SweepResult(
+            records=ordered,
+            stats=stats,
+            failures=list(pruned.values()) + list(failures.values()),
+            aggregate=aggregate,
+        )
+
+    def _submit_search(
+        self,
+        request: SweepRequest,
+        netlists: dict[str, Netlist] | None,
+        sources: dict[str, str] | None,
+        store: SqliteResultStore,
+        queue: LeaseQueue,
+    ) -> SweepResult:
+        start = time.perf_counter()
+        spec = request.spec
+        circuits = spec.circuits
+        scenarios = spec.scenarios
+        loaded = dict(netlists or {})
+        for name in circuits:
+            if name not in loaded:
+                loaded[name] = load_circuit(name)
+        strategy = request.build_strategy(loaded)
+
+        stats = SweepStats(workers=self.workers)
+        sync_store_metadata(
+            store,
+            self.base_config,
+            {
+                "search": type(strategy).__name__,
+                "circuits": list(circuits),
+                "scenarios": [list(s.identity()) for s in scenarios],
+            },
+            request.resume,
+        )
+        store_keys = store.keys() if request.resume else set()
+
+        queue.clear_tasks()
+        queue.set_state("open")
+        for _ in range(self.workers):
+            self._spawn_worker()
+
+        requested = {scenario.identity() for scenario in scenarios}
+        evaluated: dict[tuple, object] = {}
+        failed: dict[tuple, SweepFailure] = {}
+        full_keys: set[tuple] = set()
+        order: list[tuple] = []
+
+        for _generation in range(request.effective_max_generations()):
+            proposals = strategy.ask()
+            if not proposals:
+                break
+            stats.n_generations += 1
+
+            proposal_keys: list[tuple[object, list[tuple]]] = []
+            pending: list[_Task] = []
+            pending_keys: set[tuple] = set()
+            resume_hits: dict[tuple, tuple[str, str]] = {}
+            resume_tasks: dict[tuple, _Task] = {}
+            for proposal in proposals:
+                keys = []
+                for circuit in circuits:
+                    for base_scenario in scenarios:
+                        scenario = proposal.scenario_for(base_scenario)
+                        key = _task_key(circuit, scenario, proposal.point)
+                        keys.append(key)
+                        if scenario.identity() in requested:
+                            full_keys.add(key)
+                        if (
+                            key in evaluated
+                            or key in failed
+                            or key in pending_keys
+                            or key in resume_hits
+                        ):
+                            continue
+                        stats.n_points += 1
+                        if key in store_keys:
+                            resume_hits[key] = (
+                                scenario.label(), circuit,
+                            )
+                            resume_tasks[key] = (
+                                key, circuit, scenario, proposal.point,
+                            )
+                            stats.n_resumed += 1
+                            continue
+                        pending_keys.add(key)
+                        pending.append(
+                            (key, circuit, scenario, proposal.point)
+                        )
+                proposal_keys.append((proposal, keys))
+
+            if resume_hits:
+                fetched = self._fetch_group_records(store, resume_hits)
+                for key, record in fetched.items():
+                    evaluated[key] = record
+                    order.append(key)
+                for key, task in resume_tasks.items():
+                    if key not in fetched and key not in pending_keys:
+                        pending_keys.add(key)
+                        pending.append(task)
+
+            if pending:
+                queue.enqueue(pending, sources=sources)
+                self._await_queue(queue, [key for key, *_r in pending])
+                wanted = {
+                    key: (scenario.label(), circuit)
+                    for key, circuit, scenario, _point in pending
+                }
+                fresh = self._fetch_group_records(store, wanted)
+                for key, circuit, scenario, _point in pending:
+                    if key in fresh:
+                        evaluated[key] = fresh[key]
+                        order.append(key)
+                new_failures = self._queue_failures(queue, pending_keys)
+                failed.update(new_failures)
+
+            outcomes = [
+                EvalOutcome(
+                    proposal=proposal,
+                    records=[
+                        evaluated[key]
+                        for key in keys
+                        if key in evaluated
+                    ],
+                    failures=[
+                        failed[key] for key in keys if key in failed
+                    ],
+                )
+                for proposal, keys in proposal_keys
+            ]
+            strategy.tell(outcomes)
+
+        queue.set_state("closed")
+        counts = queue.counts_for(list(evaluated) + list(failed))
+        stats.n_evaluated = counts["n_done"]
+        stats.n_failed = counts["n_failed"]
+        stats.n_retries = counts["n_retries"]
+
+        records = [
+            evaluated[key]
+            for key in order
+            if key in full_keys and key in evaluated
+        ]
+        aggregate = SweepAggregator()
+        aggregate.add_many(records)
+        failures = [
+            failure
+            for key, failure in failed.items()
+            if key in full_keys
+        ]
+        stats.wall_s = time.perf_counter() - start
+        return SweepResult(
+            records=records,
+            stats=stats,
+            failures=failures,
+            aggregate=aggregate,
+        )

@@ -40,7 +40,13 @@ from repro.circuits.netlist import Gate, GateType, Netlist
 from repro.circuits.validate import EquivalenceError, check_equivalent
 from repro.cli import main
 from repro.core import DiacSynthesizer
-from repro.dse import DesignPoint, DesignSpace, SweepEngine, SweepSpec
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    SweepEngine,
+    SweepRequest,
+    SweepSpec,
+)
 from repro.dse.engine import PRUNED
 from repro.dse.explorer import SynthesisCache, evaluate_point
 from repro.dse.strategies import SuccessiveHalvingStrategy
@@ -183,9 +189,13 @@ class TestPruneParity:
             scenarios=(ScenarioSpec(scale=0.002), ScenarioSpec()),
         )
         netlists = {"s27": load_circuit("s27")}
-        clean = SweepEngine(workers=1).run(spec, netlists=netlists)
-        pruned = SweepEngine(workers=1).run(
-            spec, netlists=netlists, analysis_prune=True
+        clean = SweepEngine(workers=1).submit(
+            SweepRequest(spec=spec),
+            netlists=netlists
+        )
+        pruned = SweepEngine(workers=1).submit(
+            SweepRequest(spec=spec, analysis_prune=True),
+            netlists=netlists
         )
         return clean, pruned
 
@@ -515,8 +525,12 @@ class TestStaticScreener:
                 seed=1,
                 screener=screener,
             )
-            return SweepEngine(workers=1).run_search(
-                strategy, circuits=("s27",), netlists=netlists
+            return SweepEngine(workers=1).submit(
+                SweepRequest(
+                    spec=SweepSpec(circuits=("s27",)),
+                    strategy=strategy
+                ),
+                netlists=netlists
             )
 
         plain = run()

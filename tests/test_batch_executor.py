@@ -306,6 +306,7 @@ class TestEvaluationRouting:
 
     def test_sweep_engine_toggle_equivalence(self):
         from repro.dse.engine import SweepEngine, SweepSpec
+        from repro.dse.request import SweepRequest
 
         spec = SweepSpec(
             circuits=("s27",),
@@ -316,9 +317,9 @@ class TestEvaluationRouting:
                 ScenarioSpec(name="rf-markov", seed=3),
             ),
         )
-        batched = SweepEngine().run(spec)
+        batched = SweepEngine().submit(SweepRequest(spec=spec))
         with batch_kernel_disabled():
-            scalar = SweepEngine().run(spec)
+            scalar = SweepEngine().submit(SweepRequest(spec=spec))
         kb = {r.key(): r for r in batched.records}
         ks = {r.key(): r for r in scalar.records}
         assert kb == ks

@@ -22,14 +22,15 @@ from repro.dse import (
     FaultPlan,
     FaultSpec,
     JsonlResultStore,
+    make_strategy,
+    open_store,
     ResilienceConfig,
     RetryPolicy,
     SweepEngine,
+    SweepRequest,
     SweepSpec,
     TransientEvalError,
     WorkerCrashError,
-    make_strategy,
-    open_store,
 )
 from repro.dse.faults import InjectedTransientError
 from repro.dse.resilience import (
@@ -80,7 +81,10 @@ def netlists():
 @pytest.fixture(scope="module")
 def clean_fingerprints(netlists):
     """The fault-free truth the recovery tests must reproduce exactly."""
-    return fingerprints(SweepEngine(workers=1).run(RES_SPEC, netlists=netlists))
+    return fingerprints(SweepEngine(workers=1).submit(
+        SweepRequest(spec=RES_SPEC),
+        netlists=netlists
+    ))
 
 
 def plan(tmp_path, text):
@@ -208,8 +212,9 @@ class TestSerialRecovery:
     def test_transient_retries_exactly_n_times(
         self, tmp_path, netlists, clean_fingerprints
     ):
-        result = engine(1, plan(tmp_path, "transientx2")).run(
-            RES_SPEC, netlists=netlists
+        result = engine(1, plan(tmp_path, "transientx2")).submit(
+            SweepRequest(spec=RES_SPEC),
+            netlists=netlists
         )
         assert result.stats.n_retries == 2
         assert result.stats.n_failed == 0
@@ -218,8 +223,9 @@ class TestSerialRecovery:
     def test_crash_fault_is_survivable_in_process(
         self, tmp_path, netlists, clean_fingerprints
     ):
-        result = engine(1, plan(tmp_path, "crash")).run(
-            RES_SPEC, netlists=netlists
+        result = engine(1, plan(tmp_path, "crash")).submit(
+            SweepRequest(spec=RES_SPEC),
+            netlists=netlists
         )
         assert result.stats.n_retries == 1
         assert fingerprints(result) == clean_fingerprints
@@ -227,8 +233,9 @@ class TestSerialRecovery:
     def test_transient_exhaustion_fails_with_attempt_count(
         self, tmp_path, netlists
     ):
-        result = engine(1, plan(tmp_path, "transientx99")).run(
-            RES_SPEC, netlists=netlists
+        result = engine(1, plan(tmp_path, "transientx99")).submit(
+            SweepRequest(spec=RES_SPEC),
+            netlists=netlists
         )
         assert result.stats.n_failed == 2
         for failure in result.failures:
@@ -240,7 +247,7 @@ class TestSerialRecovery:
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
             safe_zones=(True,), safe_margin_scales=(15.0,),
         )
-        result = engine(1).run(spec, netlists=netlists)
+        result = engine(1).submit(SweepRequest(spec=spec), netlists=netlists)
         assert result.stats.n_retries == 0
         assert result.stats.n_failed == 1
         assert result.failures[0].kind == TERMINAL
@@ -256,7 +263,10 @@ class TestSerialRecovery:
         # evaluate_point) and the batched vector path, so patching it
         # breaks point evaluation on whichever route the engine takes.
         monkeypatch.setattr("repro.dse.explorer.prepare_point", explode)
-        result = engine(1).run(RES_SPEC, netlists=netlists)
+        result = engine(1).submit(
+            SweepRequest(spec=RES_SPEC),
+            netlists=netlists
+        )
         assert result.stats.n_retries == 0
         assert result.stats.n_failed == 2
         for failure in result.failures:
@@ -272,7 +282,7 @@ class TestSerialRecovery:
                 supervise=False,
                 fault_plan=fault_plan,
             ),
-        ).run(RES_SPEC, netlists=netlists)
+        ).submit(SweepRequest(spec=RES_SPEC), netlists=netlists)
         assert result.stats.n_retries == 0
         assert result.stats.n_failed == 1
 
@@ -281,8 +291,9 @@ class TestParallelRecovery:
     def test_crash_and_transients_recover_to_parity(
         self, tmp_path, netlists, clean_fingerprints
     ):
-        result = engine(2, plan(tmp_path, "crash;transientx2")).run(
-            RES_SPEC, netlists=netlists
+        result = engine(2, plan(tmp_path, "crash;transientx2")).submit(
+            SweepRequest(spec=RES_SPEC),
+            netlists=netlists
         )
         assert result.stats.n_failed == 0
         assert result.stats.n_retries == 2
@@ -294,7 +305,7 @@ class TestParallelRecovery:
     ):
         result = engine(
             2, plan(tmp_path, "hang(15)"), batch_timeout_s=0.5
-        ).run(RES_SPEC, netlists=netlists)
+        ).submit(SweepRequest(spec=RES_SPEC), netlists=netlists)
         assert result.stats.n_timeouts >= 1
         assert result.stats.n_pool_rebuilds >= 1
         assert result.stats.n_failed == 0
@@ -310,7 +321,7 @@ class TestParallelRecovery:
                 max_attempts=12, backoff_base_s=0.001, backoff_max_s=0.005
             ),
             max_pool_deaths=2,
-        ).run(RES_SPEC, netlists=netlists)
+        ).submit(SweepRequest(spec=RES_SPEC), netlists=netlists)
         assert result.stats.degraded_to_serial
         assert result.stats.n_failed == 0
         assert fingerprints(result) == clean_fingerprints
@@ -327,10 +338,12 @@ class TestParallelRecovery:
                     retry=FAST_RETRY, fault_plan=fault_plan
                 ),
             )
-            return eng.run_search(
-                make_strategy("random", space, samples=4, seed=3),
-                circuits=("s27",),
-                netlists=netlists,
+            return eng.submit(
+                SweepRequest(
+                    spec=SweepSpec(circuits=("s27",)),
+                    strategy=make_strategy("random", space, samples=4, seed=3)
+                ),
+                netlists=netlists
             )
 
         clean = search()
@@ -356,7 +369,7 @@ class TestCrashSafeStore:
             resilience=ResilienceConfig(
                 retry=FAST_RETRY, fault_plan=fault_plan
             ),
-        ).run(RES_SPEC, netlists=netlists, resume=resume)
+        ).submit(SweepRequest(spec=RES_SPEC, resume=resume), netlists=netlists)
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_fsync_every_validation(self, tmp_path, backend):

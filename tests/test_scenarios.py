@@ -9,13 +9,14 @@ import pytest
 from repro.cli import main
 from repro.dse import (
     DesignPoint,
-    JsonlResultStore,
-    SweepEngine,
-    SweepSpec,
-    SynthesisCache,
     evaluate_point,
+    JsonlResultStore,
     record_from_dict,
     record_to_dict,
+    SweepEngine,
+    SweepRequest,
+    SweepSpec,
+    SynthesisCache,
 )
 from repro.energy.scenarios import (
     SCENARIOS,
@@ -303,7 +304,7 @@ class TestDseWiring:
         assert len(spec) == 2
         result = SweepEngine(
             workers=1, store=JsonlResultStore(path)
-        ).run(spec)
+        ).submit(SweepRequest(spec=spec))
         assert result.stats.n_evaluated == 2
         assert result.stats.synthesize_calls == 1
         labels = {r.scenario.label() for r in result.records}
@@ -314,7 +315,7 @@ class TestDseWiring:
         assert {r.scenario.label() for r in on_disk} == labels
         again = SweepEngine(
             workers=1, store=JsonlResultStore(path)
-        ).run(spec, resume=True)
+        ).submit(SweepRequest(spec=spec, resume=True))
         assert again.stats.n_resumed == 2
         assert again.stats.n_evaluated == 0
 
@@ -327,7 +328,7 @@ class TestDseWiring:
             safe_zones=(True,),
             scenarios=(ScenarioSpec(), ScenarioSpec(name=str(gone))),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         assert len(result.records) == 1
         assert len(result.failures) == 1
         assert result.failures[0].scenario == str(gone)
@@ -344,8 +345,8 @@ class TestDseWiring:
                 ScenarioSpec("solar-cloudy", seed=11),
             ),
         )
-        serial = SweepEngine(workers=1).run(spec)
-        parallel = SweepEngine(workers=2).run(spec)
+        serial = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
+        parallel = SweepEngine(workers=2).submit(SweepRequest(spec=spec))
 
         def fingerprint(r):
             return (r.circuit, r.scenario.label(), r.point.label(), r.pdp_js)
@@ -377,7 +378,7 @@ class TestDseWiring:
             safe_zones=(True,),
             scenarios=(ScenarioSpec(), ScenarioSpec("office-solar")),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         groups = result.by_scenario()
         assert set(groups) == {
             ("paper-fig5", "s27"),
@@ -411,7 +412,7 @@ class TestRobustness:
                 ScenarioSpec("rf-markov", seed=7),
             ),
         )
-        return SweepEngine(workers=1).run(spec).records
+        return SweepEngine(workers=1).submit(SweepRequest(spec=spec)).records
 
     def test_normalization_per_scenario(self, cross_scenario_records):
         entries = robustness_report(cross_scenario_records)

@@ -21,14 +21,15 @@ from repro.cli import main
 from repro.core.diac import DiacConfig
 from repro.dse import (
     DesignPoint,
-    ResultStore,
-    SweepEngine,
-    SweepResult,
-    SweepSpec,
     evaluate_point,
     migrate_store,
     open_store,
     record_to_dict,
+    ResultStore,
+    SweepEngine,
+    SweepRequest,
+    SweepResult,
+    SweepSpec,
 )
 from repro.dse.aggregate import SweepAggregator
 from repro.dse.pareto import record_front
@@ -266,8 +267,9 @@ class TestEngineResume:
         # would still pass timing-wise, so the load path is poisoned
         # outright — the acceptance is "never calls load()".
         store = make_store(tmp_path, backend)
-        first = SweepEngine(workers=1, store=store).run(
-            SMALL_SPEC, netlists=netlists
+        first = SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=SMALL_SPEC),
+            netlists=netlists
         )
         assert first.stats.n_evaluated == 2
         store.extend(mint_records(base_record, 10_000))
@@ -278,8 +280,9 @@ class TestEngineResume:
             raise AssertionError("resume must not call store.load()")
 
         monkeypatch.setattr(resumed_store, "load", poisoned_load)
-        result = SweepEngine(workers=1, store=resumed_store).run(
-            GROWN_SPEC, netlists=netlists, resume=True
+        result = SweepEngine(workers=1, store=resumed_store).submit(
+            SweepRequest(spec=GROWN_SPEC, resume=True),
+            netlists=netlists
         )
         assert result.stats.n_resumed == 2
         assert result.stats.n_evaluated == 1
@@ -293,9 +296,12 @@ class TestEngineResume:
         space = DesignSpace(policies=(3,), safe_zones=(True,))
         store = make_store(tmp_path, backend)
         engine = SweepEngine(workers=1, store=store)
-        first = engine.run_search(
-            make_strategy("random", space, samples=4, seed=7),
-            circuits=("s27",), netlists=netlists,
+        first = engine.submit(
+            SweepRequest(
+                spec=SweepSpec(circuits=("s27",)),
+                strategy=make_strategy("random", space, samples=4, seed=7)
+            ),
+            netlists=netlists
         )
         assert first.records
 
@@ -305,9 +311,13 @@ class TestEngineResume:
             raise AssertionError("search resume must not call store.load()")
 
         monkeypatch.setattr(resumed_store, "load", poisoned_load)
-        second = SweepEngine(workers=1, store=resumed_store).run_search(
-            make_strategy("random", space, samples=4, seed=7),
-            circuits=("s27",), netlists=netlists, resume=True,
+        second = SweepEngine(workers=1, store=resumed_store).submit(
+            SweepRequest(
+                spec=SweepSpec(circuits=("s27",)),
+                strategy=make_strategy("random", space, samples=4, seed=7),
+                resume=True
+            ),
+            netlists=netlists
         )
         assert second.stats.n_resumed == len(first.records)
         assert second.stats.n_evaluated == 0
@@ -317,26 +327,38 @@ class TestEngineResume:
         self, tmp_path, backend, netlists
     ):
         store = make_store(tmp_path, backend)
-        SweepEngine(workers=1, store=store).run(SMALL_SPEC, netlists=netlists)
+        SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=SMALL_SPEC),
+            netlists=netlists
+        )
         other = SweepEngine(
             workers=1,
             base_config=DiacConfig(activity=0.42),
             store=make_store(tmp_path, backend),
         )
         with pytest.warns(UserWarning, match="base configuration"):
-            other.run(SMALL_SPEC, netlists=netlists, resume=True)
+            other.submit(
+                SweepRequest(spec=SMALL_SPEC, resume=True),
+                netlists=netlists
+            )
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_grown_spec_resume_does_not_warn(
         self, tmp_path, backend, netlists
     ):
         store = make_store(tmp_path, backend)
-        SweepEngine(workers=1, store=store).run(SMALL_SPEC, netlists=netlists)
+        SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=SMALL_SPEC),
+            netlists=netlists
+        )
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             result = SweepEngine(
                 workers=1, store=make_store(tmp_path, backend)
-            ).run(GROWN_SPEC, netlists=netlists, resume=True)
+            ).submit(
+                SweepRequest(spec=GROWN_SPEC, resume=True),
+                netlists=netlists
+            )
         assert result.stats.n_resumed == 2
 
 
@@ -348,7 +370,10 @@ class TestAggregation:
             safe_zones=(True,),
             scenarios=(ScenarioSpec(), ScenarioSpec(name="office-solar")),
         )
-        return SweepEngine(workers=1).run(spec, netlists=netlists).records
+        return SweepEngine(workers=1).submit(
+            SweepRequest(spec=spec),
+            netlists=netlists
+        ).records
 
     def test_incremental_matches_batch(self, scenario_records):
         aggregator = SweepAggregator()
@@ -397,8 +422,9 @@ class TestAggregation:
         self, tmp_path, backend, netlists
     ):
         store = make_store(tmp_path, backend)
-        live = SweepEngine(workers=1, store=store).run(
-            SMALL_SPEC, netlists=netlists
+        live = SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=SMALL_SPEC),
+            netlists=netlists
         )
         view = SweepResult.from_store(make_store(tmp_path, backend))
         assert not view.records

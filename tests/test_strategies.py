@@ -14,14 +14,15 @@ from repro.dse import (
     ExplorationRecord,
     GridStrategy,
     JsonlResultStore,
+    make_strategy,
     ParetoEvolutionStrategy,
     Proposal,
     RandomStrategy,
     Range,
     SuccessiveHalvingStrategy,
     SweepEngine,
+    SweepRequest,
     SweepSpec,
-    make_strategy,
 )
 from repro.dse.strategies import _score_outcomes
 from repro.energy.scenarios import ScenarioSpec
@@ -418,8 +419,11 @@ TINY_SPACE = DesignSpace(
 
 class TestRunSearch:
     def test_random_search_evaluates_samples(self):
-        result = SweepEngine(workers=1).run_search(
-            RandomStrategy(TINY_SPACE, samples=4, seed=0)
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(
+                spec=SweepSpec(),
+                strategy=RandomStrategy(TINY_SPACE, samples=4, seed=0)
+            )
         )
         assert result.stats.n_evaluated == 4
         assert result.stats.n_generations == 1
@@ -428,8 +432,11 @@ class TestRunSearch:
 
     def test_search_is_seed_deterministic(self):
         def run(seed):
-            return SweepEngine(workers=1).run_search(
-                RandomStrategy(TINY_SPACE, samples=3, seed=seed)
+            return SweepEngine(workers=1).submit(
+                SweepRequest(
+                    spec=SweepSpec(),
+                    strategy=RandomStrategy(TINY_SPACE, samples=3, seed=seed)
+                )
             )
 
         a, b = run(5), run(5)
@@ -452,7 +459,9 @@ class TestRunSearch:
                 self.outcomes = outcomes
 
         strategy = Repeater()
-        result = SweepEngine(workers=1).run_search(strategy)
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(spec=SweepSpec(), strategy=strategy)
+        )
         assert result.stats.n_evaluated == 1
         assert len(result.records) == 1
         # Both proposals still see the (shared) record.
@@ -474,7 +483,9 @@ class TestRunSearch:
                 self.outcomes = outcomes
 
         strategy = Infeasible()
-        result = SweepEngine(workers=1).run_search(strategy)
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(spec=SweepSpec(), strategy=strategy)
+        )
         assert result.records == []
         assert result.stats.n_failed == 1
         assert strategy.outcomes[0].records == []
@@ -484,8 +495,12 @@ class TestRunSearch:
         store = JsonlResultStore(tmp_path / "search.jsonl")
 
         def run():
-            return SweepEngine(workers=1, store=store).run_search(
-                RandomStrategy(TINY_SPACE, samples=3, seed=7), resume=True
+            return SweepEngine(workers=1, store=store).submit(
+                SweepRequest(
+                    spec=SweepSpec(),
+                    strategy=RandomStrategy(TINY_SPACE, samples=3, seed=7),
+                    resume=True
+                )
             )
 
         first = run()
@@ -513,7 +528,9 @@ class TestRunSearch:
         strategy = SuccessiveHalvingStrategy(
             doomed, pool=4, promote=0.5, rounds=2, screen_scale=1.5, seed=0
         )
-        result = SweepEngine(workers=1).run_search(strategy)
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(spec=SweepSpec(), strategy=strategy)
+        )
         assert result.records == []
         assert result.stats.n_failed == 4 + 2
         assert len(result.failures) == 2
@@ -527,7 +544,9 @@ class TestRunSearch:
             TINY_SPACE, pool=4, promote=0.5, rounds=2, screen_scale=2.0,
             seed=0,
         )
-        result = SweepEngine(workers=1, store=store).run_search(strategy)
+        result = SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=SweepSpec(), strategy=strategy)
+        )
         assert result.stats.n_generations == 2
         assert result.stats.n_evaluated == 4 + 2
         # Only the full-fidelity final round lands in the result...
@@ -543,11 +562,14 @@ class TestRunSearch:
         store = JsonlResultStore(tmp_path / "halving.jsonl")
 
         def run():
-            return SweepEngine(workers=1, store=store).run_search(
-                SuccessiveHalvingStrategy(
+            return SweepEngine(workers=1, store=store).submit(
+                SweepRequest(
+                    spec=SweepSpec(),
+                    strategy=SuccessiveHalvingStrategy(
                     TINY_SPACE, pool=4, promote=0.5, rounds=2, seed=3
                 ),
-                resume=True,
+                    resume=True
+                )
             )
 
         first = run()
@@ -558,8 +580,11 @@ class TestRunSearch:
 
     def test_parallel_search_matches_serial(self):
         def run(workers):
-            return SweepEngine(workers=workers).run_search(
-                RandomStrategy(SPACE, samples=6, seed=2)
+            return SweepEngine(workers=workers).submit(
+                SweepRequest(
+                    spec=SweepSpec(),
+                    strategy=RandomStrategy(SPACE, samples=6, seed=2)
+                )
             )
 
         serial, parallel = run(1), run(2)
@@ -568,10 +593,11 @@ class TestRunSearch:
         ) == sorted((r.key(), r.pdp_js) for r in parallel.records)
 
     def test_multi_circuit_multi_scenario_cross(self):
-        result = SweepEngine(workers=1).run_search(
-            RandomStrategy(TINY_SPACE, samples=2, seed=0),
-            circuits=("s27", "b02"),
-            scenarios=(ScenarioSpec(), ScenarioSpec("office-solar")),
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(
+                spec=SweepSpec(circuits=("s27", "b02"), scenarios=(ScenarioSpec(), ScenarioSpec("office-solar"))),
+                strategy=RandomStrategy(TINY_SPACE, samples=2, seed=0)
+            )
         )
         assert result.stats.n_evaluated == 2 * 2 * 2
         assert set(result.by_scenario()) == {
@@ -589,20 +615,30 @@ class TestRunSearch:
             def tell(self, outcomes):
                 pass
 
-        result = SweepEngine(workers=1).run_search(
-            Forever(), max_generations=3
+        result = SweepEngine(workers=1).submit(
+            SweepRequest(
+                spec=SweepSpec(),
+                strategy=Forever(),
+                max_generations=3
+            )
         )
         assert result.stats.n_generations == 3
         assert result.stats.n_evaluated == 1  # deduped across generations
 
     def test_empty_axes_rejected(self):
         with pytest.raises(ValueError, match="circuits"):
-            SweepEngine().run_search(
-                RandomStrategy(TINY_SPACE, samples=1), circuits=()
+            SweepEngine().submit(
+                SweepRequest(
+                    spec=SweepSpec(circuits=()),
+                    strategy=RandomStrategy(TINY_SPACE, samples=1)
+                )
             )
         with pytest.raises(ValueError, match="scenarios"):
-            SweepEngine().run_search(
-                RandomStrategy(TINY_SPACE, samples=1), scenarios=()
+            SweepEngine().submit(
+                SweepRequest(
+                    spec=SweepSpec(scenarios=()),
+                    strategy=RandomStrategy(TINY_SPACE, samples=1)
+                )
             )
 
 

@@ -8,14 +8,15 @@ from repro.cli import main
 from repro.core.replacement import ReplacementCriteria
 from repro.dse import (
     DesignPoint,
-    JsonlResultStore,
-    SweepEngine,
-    SweepSpec,
-    SynthesisCache,
     evaluate_point,
+    JsonlResultStore,
     open_store,
     record_from_dict,
     record_to_dict,
+    SweepEngine,
+    SweepRequest,
+    SweepSpec,
+    SynthesisCache,
 )
 from repro.suite import load_circuit
 from repro.tech import MRAM, RERAM
@@ -57,7 +58,7 @@ def multi_circuit_spec() -> SweepSpec:
 
 @pytest.fixture(scope="module")
 def serial_result(multi_circuit_spec):
-    return SweepEngine(workers=1).run(multi_circuit_spec)
+    return SweepEngine(workers=1).submit(SweepRequest(spec=multi_circuit_spec))
 
 
 class TestSweepSpec:
@@ -91,7 +92,7 @@ class TestSweepSpec:
             circuits=("s27", "s27"), policies=(3,), budget_scales=(1.0, 1.0),
             safe_zones=(True,),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         assert result.stats.n_points == 1
         assert result.stats.n_evaluated == 1
         assert len(result.records) == 1
@@ -118,7 +119,9 @@ class TestSweepSpec:
 
 class TestParallelParity:
     def test_parallel_matches_serial(self, multi_circuit_spec, serial_result):
-        parallel = SweepEngine(workers=4).run(multi_circuit_spec)
+        parallel = SweepEngine(workers=4).submit(
+            SweepRequest(spec=multi_circuit_spec)
+        )
         assert parallel.stats.n_evaluated == 36
         assert sorted(map(record_fingerprint, parallel.records)) == sorted(
             map(record_fingerprint, serial_result.records)
@@ -138,7 +141,9 @@ class TestParallelParity:
         # 2 circuits x 3 policies = 6 synthesis-stage groups for 36 points.
         assert serial_result.stats.n_points == 36
         assert serial_result.stats.synthesize_calls == 6
-        parallel = SweepEngine(workers=4).run(multi_circuit_spec)
+        parallel = SweepEngine(workers=4).submit(
+            SweepRequest(spec=multi_circuit_spec)
+        )
         assert parallel.stats.synthesize_calls == 6
         assert parallel.stats.n_batches == 6
 
@@ -199,7 +204,7 @@ class TestFailureCapture:
             safe_zones=(True,),
             safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         assert len(result.records) == 1
         assert result.stats.n_failed == 1
         assert "margin" in result.failures[0].error
@@ -210,7 +215,7 @@ class TestFailureCapture:
             safe_zones=(True,),
             safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
         )
-        result = SweepEngine(workers=2).run(spec)
+        result = SweepEngine(workers=2).submit(SweepRequest(spec=spec))
         assert len(result.records) == 2
         assert result.stats.n_failed == 2
 
@@ -221,7 +226,7 @@ class TestFailureCapture:
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
             safe_zones=(True,), threshold_scales=(4.0,),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         assert result.stats.n_failed == 1
         assert "capacitor" in result.failures[0].error
 
@@ -233,8 +238,10 @@ class TestFailureCapture:
             safe_margin_scales=(None, self.INFEASIBLE_MARGIN),
         )
         store = JsonlResultStore(path)
-        SweepEngine(workers=1, store=store).run(spec)
-        again = SweepEngine(workers=1, store=store).run(spec, resume=True)
+        SweepEngine(workers=1, store=store).submit(SweepRequest(spec=spec))
+        again = SweepEngine(workers=1, store=store).submit(
+            SweepRequest(spec=spec, resume=True)
+        )
         assert again.stats.n_resumed == 1
         assert again.stats.n_failed == 1  # retried, still infeasible
         assert len(again.records) == 1
@@ -250,7 +257,7 @@ class TestFailureCapture:
             circuits=("s27",), policies=(3,),
             budget_scales=(1.0, 1.0 + 1e-9), safe_zones=(True,),
         )
-        result = SweepEngine(workers=1).run(spec)
+        result = SweepEngine(workers=1).submit(SweepRequest(spec=spec))
         assert result.stats.n_evaluated == 2
         assert len(result.records) == 2
 
@@ -275,7 +282,7 @@ class TestResultStore:
         )
         first = SweepEngine(
             workers=1, store=make_store(tmp_path, backend)
-        ).run(small)
+        ).submit(SweepRequest(spec=small))
         assert first.stats.n_evaluated == 2
         assert make_store(tmp_path, backend).count() == 2
 
@@ -285,7 +292,7 @@ class TestResultStore:
         )
         second = SweepEngine(
             workers=1, store=make_store(tmp_path, backend)
-        ).run(grown, resume=True)
+        ).submit(SweepRequest(spec=grown, resume=True))
         assert second.stats.n_resumed == 2
         assert second.stats.n_evaluated == 1
         assert len(second.records) == 3
@@ -297,7 +304,9 @@ class TestResultStore:
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
             safe_zones=(True,),
         )
-        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        SweepEngine(workers=1, store=JsonlResultStore(path)).submit(
+            SweepRequest(spec=small)
+        )
         with path.open("a") as handle:
             handle.write('{"circuit": "s27", "point": {"pol')  # crash artifact
         store = JsonlResultStore(path)
@@ -313,7 +322,9 @@ class TestResultStore:
             circuits=("s27",), policies=(3,), budget_scales=(0.5, 1.0, 2.0),
             safe_zones=(True,),
         )
-        SweepEngine(workers=1, store=JsonlResultStore(path)).run(spec)
+        SweepEngine(workers=1, store=JsonlResultStore(path)).submit(
+            SweepRequest(spec=spec)
+        )
         lines = path.read_text().splitlines()
         lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt a MIDDLE line
         path.write_text("\n".join(lines) + "\n")
@@ -332,7 +343,9 @@ class TestResultStore:
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
             safe_zones=(True,),
         )
-        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        SweepEngine(workers=1, store=JsonlResultStore(path)).submit(
+            SweepRequest(spec=small)
+        )
         good = path.read_text()
         # Valid JSON that is not a record dict, in the middle and at
         # the end — every shape must skip+warn, never raise.
@@ -349,7 +362,9 @@ class TestResultStore:
             circuits=("s27",), policies=(3,), budget_scales=(1.0,),
             safe_zones=(True,),
         )
-        SweepEngine(workers=1, store=JsonlResultStore(path)).run(small)
+        SweepEngine(workers=1, store=JsonlResultStore(path)).submit(
+            SweepRequest(spec=small)
+        )
         with path.open("a") as handle:
             handle.write('{"circuit": "s27"}\n')  # parses, but no record
         store = JsonlResultStore(path)
@@ -364,7 +379,7 @@ class TestResultStore:
         )
         result = SweepEngine(
             workers=2, store=make_store(tmp_path, backend)
-        ).run(spec)
+        ).submit(SweepRequest(spec=spec))
         assert len(result.records) == 4
         on_disk = make_store(tmp_path, backend).load()
         assert sorted(map(record_fingerprint, on_disk)) == sorted(
